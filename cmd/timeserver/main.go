@@ -1,0 +1,48 @@
+// Command timeserver runs the real UDP time service of the paper's
+// methodology (§4): "a simple UDP time server running on the host
+// machine" that measurement harnesses query to sidestep unreliable guest
+// clocks. The wire protocol is implemented in vmdg/internal/timesync.
+//
+// Usage:
+//
+//	timeserver -addr :3737          # serve
+//	timeserver -query host:3737     # one-shot client: print offset and RTT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vmdg/internal/timesync"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:3737", "address to bind")
+		query = flag.String("query", "", "query a running server instead of serving")
+	)
+	flag.Parse()
+
+	if *query != "" {
+		offset, rtt, err := timesync.Query(*query, 3*time.Second)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "timeserver:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("offset %v  rtt %v\n", offset, rtt)
+		return
+	}
+
+	srv, err := timesync.NewServer(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "timeserver:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("timeserver listening on %s\n", srv.Addr())
+	if err := srv.Serve(); err != nil {
+		fmt.Fprintln(os.Stderr, "timeserver:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,15 @@
+// Package vmdg is a reproduction of Domingues, Araujo & Silva,
+// "Evaluating the Performance and Intrusiveness of Virtual Machines for
+// Desktop Grid Computing" (IPDPS 2009 workshops / PCGrid).
+//
+// The library lives under internal/: a deterministic simulation of the
+// paper's testbed (dual-core machine, Windows-like host scheduler,
+// Linux-like guest kernel, four calibrated VMM cost models) plus real
+// implementations of every benchmark the paper runs (7z/LZMA-style codec,
+// matrix multiply, IOBench, iperf-style NetBench, the ten NBench/ByteMark
+// kernels, and an Einstein@home-style FFT worker under a BOINC-style
+// client). internal/core regenerates Figures 1–8; bench_test.go at this
+// level exposes one testing.B benchmark per figure.
+//
+// See README.md for a tour and EXPERIMENTS.md for paper-vs-measured data.
+package vmdg

@@ -1,0 +1,36 @@
+// Guestperf regenerates the paper's guest-performance study (Figures 1–4):
+// CPU integer, CPU floating point, disk, and network benchmarks inside
+// each virtualization environment, normalized against native execution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vmdg/internal/core"
+)
+
+func main() {
+	cfg := core.Config{Seed: 1, Reps: 2, Quick: true}
+
+	for _, fn := range []func(core.Config) (*core.Result, error){
+		core.Figure1, core.Figure2, core.Figure3, core.Figure4,
+	} {
+		res, err := fn(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Figure.Render())
+		if res.Series != nil {
+			fmt.Println(res.Series.Render())
+		}
+		if targets, ok := core.PaperTargets[res.ID]; ok {
+			fmt.Println("  vs paper:")
+			for label, band := range targets {
+				fmt.Printf("    %-14s measured %-8.4g paper %-8.4g\n",
+					label, res.Values[label], band.Paper)
+			}
+		}
+		fmt.Println()
+	}
+}

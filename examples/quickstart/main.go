@@ -1,0 +1,55 @@
+// Quickstart: build one virtual machine on the simulated testbed, run a
+// real benchmark inside it, and compare against native — the smallest
+// complete use of the vmdg API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vmdg/internal/bench/sevenz"
+	"vmdg/internal/hostos"
+	"vmdg/internal/hw"
+	"vmdg/internal/sim"
+	"vmdg/internal/vmm"
+	"vmdg/internal/vmm/profiles"
+)
+
+func main() {
+	// Capture the 7z benchmark's cost profile by running the real
+	// LZ77+range-coder codec once (round-trip verified).
+	prof7z, run := sevenz.Profile(42, 256<<10, 2)
+	if !run.RoundTrip {
+		log.Fatal("codec round trip failed")
+	}
+	fmt.Printf("7z benchmark: %.1f MB in, ratio %.2f, %.0fM instructions\n\n",
+		float64(run.InBytes)/(1<<20), run.Ratio, run.Instructions()/1e6)
+
+	for _, env := range []vmm.Profile{profiles.Native(), profiles.VMwarePlayer(), profiles.QEMU()} {
+		// One simulated Core 2 Duo testbed per run.
+		s := sim.New()
+		machine, err := hw.NewMachine(s, hw.Config{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		host := hostos.Boot(machine)
+
+		// A VM under this environment's cost profile; the guest kernel
+		// runs the captured benchmark as its only thread.
+		vm, err := vmm.New(host, vmm.Config{Prof: env})
+		if err != nil {
+			log.Fatal(err)
+		}
+		vm.SpawnGuest("7z", prof7z.Iter())
+		vm.PowerOn(hostos.PrioNormal)
+
+		if !host.RunUntilFinished(vm.Proc, 600*sim.Second) {
+			log.Fatalf("%s: benchmark did not finish", env.Name)
+		}
+		wall := host.Sim.Now()
+		vm.PowerOff()
+
+		mips := run.Instructions() / wall.Seconds() / 1e6
+		fmt.Printf("%-10s wall %8v   %7.1f MIPS\n", env.Name, wall, mips)
+	}
+}

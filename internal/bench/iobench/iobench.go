@@ -1,0 +1,86 @@
+// Package iobench implements the paper's IOBench (§2): a filesystem
+// benchmark that writes and then reads back randomly generated files whose
+// sizes double from 128 KB to 32 MB, timing each phase. The original is a
+// Python script; this implementation captures the same behaviour as a cost
+// profile (data generation, 64 KB syscall-sized transfers, fsync after the
+// write phase, a cache drop before the read phase) replayed through the
+// guest filesystem.
+package iobench
+
+import (
+	"fmt"
+
+	"vmdg/internal/cost"
+)
+
+// Sizes returns the paper's file-size sweep: 128 KB, 256 KB, ..., 32 MB.
+func Sizes() []int64 {
+	var out []int64
+	for s := int64(128 << 10); s <= 32<<20; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// chunk is the per-syscall transfer size of the benchmark's read/write
+// loop (Python file I/O through a 64 KB buffer).
+const chunk = 64 << 10
+
+// Data-generation cost: the benchmark fills its write buffers from a
+// pseudo-random generator (≈4 integer ops plus streaming stores per byte,
+// interpreter overhead included).
+const (
+	genIntPerByte = 4.0
+	genMemPerByte = 0.25
+)
+
+// FileName names the benchmark file for a given size.
+func FileName(size int64) string { return fmt.Sprintf("iobench-%dK", size>>10) }
+
+// WriteProfile captures the write phase for one file size: generate random
+// data, write it in chunks, fsync.
+func WriteProfile(size int64) *cost.Profile {
+	m := cost.NewMeter(fmt.Sprintf("iobench-write-%dK", size>>10))
+	name := FileName(size)
+	for off := int64(0); off < size; off += chunk {
+		n := chunk
+		if size-off < int64(n) {
+			n = int(size - off)
+		}
+		m.Ops(cost.Counts{
+			IntOps: uint64(genIntPerByte * float64(n)),
+			MemOps: uint64(genMemPerByte * float64(n)),
+		})
+		m.DiskWrite(name, off, int64(n))
+	}
+	m.DiskSync(name)
+	return m.Profile()
+}
+
+// ReadProfile captures the read phase: drop caches, then read the file
+// back in chunks, verifying as it goes (a checksum pass over the data).
+func ReadProfile(size int64) *cost.Profile {
+	m := cost.NewMeter(fmt.Sprintf("iobench-read-%dK", size>>10))
+	name := FileName(size)
+	m.DropCaches()
+	for off := int64(0); off < size; off += chunk {
+		n := chunk
+		if size-off < int64(n) {
+			n = int(size - off)
+		}
+		m.DiskRead(name, off, int64(n))
+		m.Ops(cost.Counts{IntOps: uint64(n), MemOps: uint64(n) / 8}) // checksum pass
+	}
+	return m.Profile()
+}
+
+// SweepProfile concatenates write+read phases over the full size sweep —
+// one complete IOBench run as a single guest program.
+func SweepProfile() *cost.Profile {
+	p := &cost.Profile{Name: "iobench-sweep"}
+	for _, size := range Sizes() {
+		p.Steps = append(p.Steps, WriteProfile(size).Steps...)
+		p.Steps = append(p.Steps, ReadProfile(size).Steps...)
+	}
+	return p
+}

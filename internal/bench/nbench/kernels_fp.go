@@ -1,0 +1,254 @@
+package nbench
+
+import (
+	"math"
+
+	"vmdg/internal/cost"
+	"vmdg/internal/sim"
+)
+
+// ---- Fourier: numerical Fourier coefficients (FP index) ----
+
+// runFourier computes the first fourierCoeffs Fourier series coefficients
+// of f(x) = (x+1)^x over [0,2] by trapezoid-rule integration, exactly as
+// BYTEmark's FOURIER kernel does, and spot-checks the constant term
+// against a finer integration.
+const fourierCoeffs = 48
+
+func runFourier(seed uint64) KernelResult {
+	_ = seed // the integrand is fixed; seed kept for interface symmetry
+	var ops cost.Counts
+	f := func(x float64) float64 {
+		ops.FPOps += 8
+		return math.Pow(x+1, x)
+	}
+	integrate := func(lo, hi float64, n int, g func(float64) float64) float64 {
+		h := (hi - lo) / float64(n)
+		sum := (g(lo) + g(hi)) / 2
+		for i := 1; i < n; i++ {
+			sum += g(lo + float64(i)*h)
+			ops.FPOps += 3
+		}
+		return sum * h
+	}
+	const steps = 200
+	a := make([]float64, fourierCoeffs)
+	b := make([]float64, fourierCoeffs)
+	a[0] = integrate(0, 2, steps, f) / 2
+	for k := 1; k < fourierCoeffs; k++ {
+		w := float64(k) * math.Pi
+		a[k] = integrate(0, 2, steps, func(x float64) float64 {
+			ops.FPOps += 3
+			return f(x) * math.Cos(w*x)
+		})
+		b[k] = integrate(0, 2, steps, func(x float64) float64 {
+			ops.FPOps += 3
+			return f(x) * math.Sin(w*x)
+		})
+	}
+	// Verification: a finer grid must agree with the coarse constant term.
+	fine := integrate(0, 2, 4*steps, f) / 2
+	ok := math.Abs(fine-a[0]) < 1e-3*math.Abs(fine)
+	return KernelResult{Kernel: Fourier, Counts: ops, Check: ok && b[1] != 0}
+}
+
+// ---- neural net: back-propagation training (FP index) ----
+
+const (
+	nnInputs  = 8
+	nnHidden  = 8
+	nnOutputs = 4
+	nnEpochs  = 120
+	nnRate    = 0.4
+)
+
+// runNeuralNet trains a small MLP to map 8-bit patterns to their 4-bit
+// popcount (one-hot-ish targets), verifying that training reduces the
+// error — a real gradient-descent workload, as in BYTEmark's NNET.
+func runNeuralNet(seed uint64) KernelResult {
+	rng := sim.NewRNG(seed)
+	var ops cost.Counts
+
+	w1 := make([][]float64, nnInputs+1) // +1 bias
+	for i := range w1 {
+		w1[i] = make([]float64, nnHidden)
+		for j := range w1[i] {
+			w1[i][j] = rng.Float64() - 0.5
+		}
+	}
+	w2 := make([][]float64, nnHidden+1)
+	for i := range w2 {
+		w2[i] = make([]float64, nnOutputs)
+		for j := range w2[i] {
+			w2[i][j] = rng.Float64() - 0.5
+		}
+	}
+	sigmoid := func(x float64) float64 {
+		ops.FPOps += 6
+		return 1 / (1 + math.Exp(-x))
+	}
+
+	patterns := make([][nnInputs]float64, 16)
+	targets := make([][nnOutputs]float64, 16)
+	for p := range patterns {
+		bitsSet := 0
+		for i := 0; i < nnInputs; i++ {
+			bit := (p >> (i % 4)) & 1
+			patterns[p][i] = float64(bit ^ (i / 4 & 1))
+			if patterns[p][i] > 0.5 {
+				bitsSet++
+			}
+		}
+		targets[p][bitsSet%nnOutputs] = 1
+	}
+
+	train := func() float64 {
+		var total float64
+		for p := range patterns {
+			// The working set (a few KB of weights) is cache-resident;
+			// only a trickle of traffic reaches the shared bus.
+			ops.MemOps += 16
+			// Forward.
+			hid := make([]float64, nnHidden)
+			for j := 0; j < nnHidden; j++ {
+				sum := w1[nnInputs][j]
+				for i := 0; i < nnInputs; i++ {
+					sum += patterns[p][i] * w1[i][j]
+					ops.FPOps += 2
+				}
+				hid[j] = sigmoid(sum)
+			}
+			out := make([]float64, nnOutputs)
+			for k := 0; k < nnOutputs; k++ {
+				sum := w2[nnHidden][k]
+				for j := 0; j < nnHidden; j++ {
+					sum += hid[j] * w2[j][k]
+					ops.FPOps += 2
+				}
+				out[k] = sigmoid(sum)
+			}
+			// Backward.
+			dOut := make([]float64, nnOutputs)
+			for k := range dOut {
+				err := targets[p][k] - out[k]
+				total += err * err
+				dOut[k] = err * out[k] * (1 - out[k])
+				ops.FPOps += 5
+			}
+			dHid := make([]float64, nnHidden)
+			for j := 0; j < nnHidden; j++ {
+				var s float64
+				for k := 0; k < nnOutputs; k++ {
+					s += dOut[k] * w2[j][k]
+					ops.FPOps += 2
+				}
+				dHid[j] = s * hid[j] * (1 - hid[j])
+				ops.FPOps += 3
+			}
+			for k := 0; k < nnOutputs; k++ {
+				for j := 0; j < nnHidden; j++ {
+					w2[j][k] += nnRate * dOut[k] * hid[j]
+					ops.FPOps += 3
+				}
+				w2[nnHidden][k] += nnRate * dOut[k]
+				ops.FPOps += 2
+			}
+			for j := 0; j < nnHidden; j++ {
+				for i := 0; i < nnInputs; i++ {
+					w1[i][j] += nnRate * dHid[j] * patterns[p][i]
+					ops.FPOps += 3
+				}
+				w1[nnInputs][j] += nnRate * dHid[j]
+				ops.FPOps += 2
+			}
+		}
+		return total
+	}
+
+	first := train()
+	var last float64
+	for e := 1; e < nnEpochs; e++ {
+		last = train()
+	}
+	return KernelResult{Kernel: NeuralNet, Counts: ops, Check: last < first*0.7}
+}
+
+// ---- LU decomposition with partial pivoting (FP index) ----
+
+const luN = 64
+
+// runLUDecomp factors PA = LU and verifies the reconstruction error.
+func runLUDecomp(seed uint64) KernelResult {
+	rng := sim.NewRNG(seed)
+	var ops cost.Counts
+	a := make([][]float64, luN)
+	orig := make([][]float64, luN)
+	for i := range a {
+		a[i] = make([]float64, luN)
+		orig[i] = make([]float64, luN)
+		for j := range a[i] {
+			v := rng.Float64()*2 - 1
+			a[i][j] = v
+			orig[i][j] = v
+		}
+		a[i][i] += float64(luN) // diagonal dominance: well-conditioned
+		orig[i][i] += float64(luN)
+	}
+	perm := make([]int, luN)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < luN; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < luN; r++ {
+			ops.FPOps++
+			ops.MemOps++
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		if p != col {
+			a[p], a[col] = a[col], a[p]
+			perm[p], perm[col] = perm[col], perm[p]
+		}
+		// Eliminate.
+		for r := col + 1; r < luN; r++ {
+			m := a[r][col] / a[col][col]
+			a[r][col] = m
+			ops.FPOps += 2
+			for cc := col + 1; cc < luN; cc++ {
+				a[r][cc] -= m * a[col][cc]
+				ops.FPOps += 2
+			}
+			// L2-resident matrix: bus traffic is a fraction of touches.
+			ops.MemOps += uint64(luN-col-1) / 6
+		}
+	}
+	// Verify: (L·U)[i][j] must equal orig[perm[i]][j], where L has an
+	// implicit unit diagonal and both factors are packed into a.
+	maxErr := 0.0
+	for i := 0; i < luN; i++ {
+		for j := 0; j < luN; j++ {
+			var sum float64
+			for k := 0; k <= min(i, j); k++ {
+				l := a[i][k]
+				if k == i {
+					l = 1
+				}
+				sum += l * a[k][j]
+			}
+			if err := math.Abs(sum - orig[perm[i]][j]); err > maxErr {
+				maxErr = err
+			}
+		}
+	}
+	return KernelResult{Kernel: LUDecomp, Counts: ops, Check: maxErr < 1e-8}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

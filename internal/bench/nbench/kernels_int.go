@@ -1,0 +1,277 @@
+package nbench
+
+import (
+	"container/heap"
+
+	"vmdg/internal/cost"
+	"vmdg/internal/sim"
+)
+
+// ---- IDEA: the International Data Encryption Algorithm (INT index) ----
+
+const ideaRounds = 8
+
+type ideaKey [52]uint16
+
+// ideaExpandKey derives the 52 encryption subkeys from a 128-bit key via
+// the standard schedule: successive 16-bit words of the key rotated left
+// by 25 bits for each group of eight subkeys.
+func ideaExpandKey(key [16]byte) ideaKey {
+	var ek ideaKey
+	for i := 0; i < 8; i++ {
+		ek[i] = uint16(key[2*i])<<8 | uint16(key[2*i+1])
+	}
+	for j := 8; j < 52; j++ {
+		switch j & 7 {
+		case 6:
+			ek[j] = ek[j-7]&127<<9 | ek[j-14]>>7
+		case 7:
+			ek[j] = ek[j-15]&127<<9 | ek[j-14]>>7
+		default:
+			ek[j] = ek[j-7]&127<<9 | ek[j-6]>>7
+		}
+	}
+	return ek
+}
+
+// ideaInvKey computes the decryption subkeys: the additive and
+// multiplicative inverses of the encryption keys in reverse round order,
+// with the middle additive keys swapped for the inner rounds (they are
+// not swapped for the transforms adjacent to the outermost rounds).
+func ideaInvKey(ek ideaKey) ideaKey {
+	var dk ideaKey
+	dk[0] = mulInv(ek[48])
+	dk[1] = negMod(ek[49])
+	dk[2] = negMod(ek[50])
+	dk[3] = mulInv(ek[51])
+	dk[4] = ek[46]
+	dk[5] = ek[47]
+	for d := 1; d < ideaRounds; d++ {
+		e := 48 - 6*d // matching encryption round's key base
+		dk[6*d+0] = mulInv(ek[e+0])
+		dk[6*d+1] = negMod(ek[e+2]) // swapped middle
+		dk[6*d+2] = negMod(ek[e+1])
+		dk[6*d+3] = mulInv(ek[e+3])
+		dk[6*d+4] = ek[e-2]
+		dk[6*d+5] = ek[e-1]
+	}
+	dk[48] = mulInv(ek[0])
+	dk[49] = negMod(ek[1])
+	dk[50] = negMod(ek[2])
+	dk[51] = mulInv(ek[3])
+	return dk
+}
+
+// ideaMul is multiplication modulo 2^16+1 with 0 ≡ 2^16.
+func ideaMul(a, b uint16) uint16 {
+	if a == 0 {
+		return uint16(1 - int32(b)) // 65537 - b mod 65536
+	}
+	if b == 0 {
+		return uint16(1 - int32(a))
+	}
+	p := uint32(a) * uint32(b)
+	hi, lo := p>>16, p&0xFFFF
+	if lo >= hi {
+		return uint16(lo - hi)
+	}
+	return uint16(lo - hi + 1)
+}
+
+// mulInv is the multiplicative inverse modulo 2^16+1.
+func mulInv(x uint16) uint16 {
+	if x <= 1 {
+		return x
+	}
+	t1 := uint32(65537) / uint32(x)
+	y := uint32(65537) % uint32(x)
+	if y == 1 {
+		return uint16(1 - t1)
+	}
+	t0 := uint32(1)
+	xv := uint32(x)
+	for y != 1 {
+		q := xv / y
+		xv %= y
+		t0 += q * t1
+		if xv == 1 {
+			return uint16(t0)
+		}
+		q = y / xv
+		y %= xv
+		t1 += q * t0
+	}
+	return uint16(1 - t1)
+}
+
+func negMod(x uint16) uint16 { return uint16(-int32(x)) }
+
+// ideaCrypt processes one 64-bit block with the given subkeys.
+func ideaCrypt(block [4]uint16, k ideaKey, ops *cost.Counts) [4]uint16 {
+	x1, x2, x3, x4 := block[0], block[1], block[2], block[3]
+	ki := 0
+	for r := 0; r < ideaRounds; r++ {
+		// State lives in registers; only the subkey stream touches memory.
+		ops.IntOps += 34
+		ops.MemOps += 1
+		x1 = ideaMul(x1, k[ki])
+		x2 += k[ki+1]
+		x3 += k[ki+2]
+		x4 = ideaMul(x4, k[ki+3])
+		t := x1 ^ x3
+		t = ideaMul(t, k[ki+4])
+		u := (x2 ^ x4) + t
+		u = ideaMul(u, k[ki+5])
+		t += u
+		x1 ^= u
+		x4 ^= t
+		x2, x3 = x3^u, x2^t
+		ki += 6
+	}
+	ops.IntOps += 10
+	return [4]uint16{
+		ideaMul(x1, k[ki]),
+		x3 + k[ki+1],
+		x2 + k[ki+2],
+		ideaMul(x4, k[ki+3]),
+	}
+}
+
+func runIDEA(seed uint64) KernelResult {
+	rng := sim.NewRNG(seed)
+	var key [16]byte
+	for i := range key {
+		key[i] = byte(rng.Uint64())
+	}
+	ek := ideaExpandKey(key)
+	dk := ideaInvKey(ek)
+	var ops cost.Counts
+	ok := true
+	for i := 0; i < 2048; i++ {
+		var blk [4]uint16
+		for j := range blk {
+			blk[j] = uint16(rng.Uint64())
+		}
+		enc := ideaCrypt(blk, ek, &ops)
+		dec := ideaCrypt(enc, dk, &ops)
+		if dec != blk {
+			ok = false
+		}
+	}
+	return KernelResult{Kernel: IDEA, Counts: ops, Check: ok}
+}
+
+// ---- Huffman: build a code from symbol frequencies, encode, decode ----
+
+type huffNode struct {
+	freq        int
+	sym         int // -1 for internal
+	left, right *huffNode
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int { return len(h) }
+func (h huffHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].sym < h[j].sym // deterministic tie-break
+}
+func (h huffHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *huffHeap) Push(x any)   { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+func runHuffman(seed uint64) KernelResult {
+	rng := sim.NewRNG(seed)
+	var ops cost.Counts
+	// Skewed symbol distribution so codes have interesting lengths.
+	src := make([]byte, 16*1024)
+	for i := range src {
+		r := rng.Intn(100)
+		switch {
+		case r < 40:
+			src[i] = 'e'
+		case r < 60:
+			src[i] = 't'
+		case r < 75:
+			src[i] = byte('a' + rng.Intn(4))
+		default:
+			src[i] = byte(rng.Intn(64))
+		}
+		ops.MemOps++
+	}
+	freq := map[int]int{}
+	for _, b := range src {
+		freq[int(b)]++
+		ops.IntOps += 2
+	}
+	h := &huffHeap{}
+	for sym, f := range freq {
+		*h = append(*h, &huffNode{freq: f, sym: sym})
+	}
+	heap.Init(h)
+	for h.Len() > 1 {
+		a := heap.Pop(h).(*huffNode)
+		b := heap.Pop(h).(*huffNode)
+		heap.Push(h, &huffNode{freq: a.freq + b.freq, sym: -1, left: a, right: b})
+		ops.IntOps += 12
+		ops.MemOps += 4
+	}
+	root := heap.Pop(h).(*huffNode)
+
+	codes := map[int][]bool{}
+	var walk func(n *huffNode, prefix []bool)
+	walk = func(n *huffNode, prefix []bool) {
+		if n.sym >= 0 {
+			codes[n.sym] = append([]bool(nil), prefix...)
+			return
+		}
+		walk(n.left, append(prefix, false))
+		walk(n.right, append(prefix, true))
+	}
+	if root.sym >= 0 { // degenerate single-symbol tree
+		codes[root.sym] = []bool{false}
+	} else {
+		walk(root, nil)
+	}
+
+	var bits []bool
+	for _, b := range src {
+		bits = append(bits, codes[int(b)]...)
+		ops.IntOps += 6
+		ops.MemOps += 1
+	}
+	// Decode and verify.
+	ok := true
+	n := root
+	var out []byte
+	bitSteps := uint64(0)
+	for _, bit := range bits {
+		bitSteps++
+		if n.sym < 0 {
+			if bit {
+				n = n.right
+			} else {
+				n = n.left
+			}
+		}
+		if n.sym >= 0 {
+			out = append(out, byte(n.sym))
+			n = root
+		}
+	}
+	ops.IntOps += 5 * bitSteps
+	ops.MemOps += bitSteps / 3
+	if len(out) != len(src) {
+		ok = false
+	} else {
+		for i := range out {
+			if out[i] != src[i] {
+				ok = false
+				break
+			}
+		}
+	}
+	return KernelResult{Kernel: Huffman, Counts: ops, Check: ok}
+}

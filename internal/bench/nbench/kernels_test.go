@@ -1,0 +1,266 @@
+package nbench
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"vmdg/internal/cost"
+	"vmdg/internal/sim"
+)
+
+// TestHeapSortAdversarialInputs exercises the sorter on shapes that break
+// naive implementations.
+func TestHeapSortAdversarialInputs(t *testing.T) {
+	cases := [][]int32{
+		{},
+		{1},
+		{2, 1},
+		{1, 1, 1, 1},
+		{5, 4, 3, 2, 1},
+		{1, 2, 3, 4, 5},
+		{math.MaxInt32, math.MinInt32, 0, -1, 1},
+	}
+	for i, in := range cases {
+		a := append([]int32(nil), in...)
+		var ops cost.Counts
+		heapSort(a, &ops)
+		want := append([]int32(nil), in...)
+		sort.Slice(want, func(x, y int) bool { return want[x] < want[y] })
+		for j := range want {
+			if a[j] != want[j] {
+				t.Fatalf("case %d: sorted %v, want %v", i, a, want)
+			}
+		}
+	}
+}
+
+// TestAssignmentOptimalAgainstBruteForce verifies the Hungarian solver's
+// optimality certificate on small random instances by exhaustive search.
+func TestAssignmentOptimalAgainstBruteForce(t *testing.T) {
+	// We cannot call runAssignment on a custom matrix (it generates its
+	// own); instead validate the same primal/dual argument it relies on:
+	// solve a small instance with the identical algorithm inline.
+	solve := func(orig [][]int64) int64 {
+		n := len(orig)
+		c := make([][]int64, n)
+		for i := range c {
+			c[i] = append([]int64(nil), orig[i]...)
+		}
+		rowRed := make([]int64, n)
+		colRed := make([]int64, n)
+		for i := 0; i < n; i++ {
+			min := c[i][0]
+			for j := 1; j < n; j++ {
+				if c[i][j] < min {
+					min = c[i][j]
+				}
+			}
+			rowRed[i] = min
+			for j := 0; j < n; j++ {
+				c[i][j] -= min
+			}
+		}
+		for j := 0; j < n; j++ {
+			min := c[0][j]
+			for i := 1; i < n; i++ {
+				if c[i][j] < min {
+					min = c[i][j]
+				}
+			}
+			colRed[j] = min
+			for i := 0; i < n; i++ {
+				c[i][j] -= min
+			}
+		}
+		matchRow := make([]int, n)
+		matchCol := make([]int, n)
+		for i := range matchRow {
+			matchRow[i] = -1
+			matchCol[i] = -1
+		}
+		var try func(c [][]int64, row int, visR, visC []bool) bool
+		try = func(c [][]int64, row int, visR, visC []bool) bool {
+			visR[row] = true
+			for j := 0; j < n; j++ {
+				if c[row][j] != 0 || visC[j] {
+					continue
+				}
+				visC[j] = true
+				if matchCol[j] == -1 || try(c, matchCol[j], visR, visC) {
+					matchRow[row] = j
+					matchCol[j] = row
+					return true
+				}
+			}
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for {
+				visR := make([]bool, n)
+				visC := make([]bool, n)
+				if try(c, i, visR, visC) {
+					break
+				}
+				delta := int64(1 << 62)
+				for r := 0; r < n; r++ {
+					if !visR[r] {
+						continue
+					}
+					for j := 0; j < n; j++ {
+						if !visC[j] && c[r][j] < delta {
+							delta = c[r][j]
+						}
+					}
+				}
+				for r := 0; r < n; r++ {
+					if visR[r] {
+						for j := 0; j < n; j++ {
+							c[r][j] -= delta
+						}
+					}
+				}
+				for j := 0; j < n; j++ {
+					if visC[j] {
+						for r := 0; r < n; r++ {
+							c[r][j] += delta
+						}
+					}
+				}
+			}
+		}
+		var total int64
+		for i, j := range matchRow {
+			total += orig[i][j]
+		}
+		return total
+	}
+
+	brute := func(orig [][]int64) int64 {
+		n := len(orig)
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		best := int64(1 << 62)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == n {
+				var c int64
+				for r, j := range perm {
+					c += orig[r][j]
+				}
+				if c < best {
+					best = c
+				}
+				return
+			}
+			for k := i; k < n; k++ {
+				perm[i], perm[k] = perm[k], perm[i]
+				rec(i + 1)
+				perm[i], perm[k] = perm[k], perm[i]
+			}
+		}
+		rec(0)
+		return best
+	}
+
+	rng := sim.NewRNG(17)
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(4) // 3..6: brute force tractable
+		m := make([][]int64, n)
+		for i := range m {
+			m[i] = make([]int64, n)
+			for j := range m[i] {
+				m[i][j] = int64(rng.Intn(100))
+			}
+		}
+		if got, want := solve(m), brute(m); got != want {
+			t.Fatalf("trial %d (n=%d): hungarian %d, brute force %d", trial, n, got, want)
+		}
+	}
+}
+
+// TestBitfieldKnownPattern checks set/clear on a hand-computed region.
+func TestBitfieldKnownPattern(t *testing.T) {
+	// The kernel itself randomizes; verify the popcount helper and the
+	// semantics its verification relies on with direct word operations.
+	bits := make([]uint32, 4)
+	for b := uint32(10); b < 50; b++ {
+		bits[b/32] |= 1 << (b % 32)
+	}
+	total := 0
+	for _, w := range bits {
+		total += popcount(w)
+	}
+	if total != 40 {
+		t.Fatalf("set 40 bits, counted %d", total)
+	}
+}
+
+// TestFourierConstantTermAnalytic checks the a0 coefficient against a
+// high-precision numerical reference for the kernel's integrand.
+func TestFourierConstantTermAnalytic(t *testing.T) {
+	// a0 = (1/2)∫₀² (x+1)^x dx ≈ 2.882 (dense trapezoid reference).
+	f := func(x float64) float64 { return math.Pow(x+1, x) }
+	n := 1 << 20
+	h := 2.0 / float64(n)
+	sum := (f(0) + f(2)) / 2
+	for i := 1; i < n; i++ {
+		sum += f(float64(i) * h)
+	}
+	ref := sum * h / 2
+	if ref < 2.85 || ref > 2.92 {
+		t.Fatalf("reference integral %v out of expected range", ref)
+	}
+	// The kernel's own verification compares coarse vs fine grids; ensure
+	// the kernel runs and passes it.
+	if res := runFourier(0); !res.Check {
+		t.Fatal("fourier self-check failed")
+	}
+}
+
+// TestLUDiagonalDominanceNoPivotBlowup: the factorization must stay
+// stable (check bounded multipliers implicitly via reconstruction) across
+// seeds.
+func TestLUStableAcrossSeeds(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		if res := runLUDecomp(seed); !res.Check {
+			t.Fatalf("seed %d: LU reconstruction failed", seed)
+		}
+	}
+}
+
+// TestNeuralNetLearns: training error must drop by the kernel's own
+// criterion for several seeds (a flaky optimizer would break the MEM/INT
+// figures' capture step).
+func TestNeuralNetLearnsAcrossSeeds(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		if res := runNeuralNet(seed); !res.Check {
+			t.Fatalf("seed %d: training did not reduce error", seed)
+		}
+	}
+}
+
+// TestStringSortOrdersArena: directly exercise the comparator semantics.
+func TestStringSortOrdersArena(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		if res := runStringSort(seed); !res.Check {
+			t.Fatalf("seed %d: arena not sorted", seed)
+		}
+	}
+}
+
+// TestIDEADifferentKeysDifferentCiphertext: sanity against degenerate key
+// schedules.
+func TestIDEADifferentKeysDifferentCiphertext(t *testing.T) {
+	blk := [4]uint16{1, 2, 3, 4}
+	var k1, k2 [16]byte
+	k2[15] = 1
+	var ops cost.Counts
+	c1 := ideaCrypt(blk, ideaExpandKey(k1), &ops)
+	c2 := ideaCrypt(blk, ideaExpandKey(k2), &ops)
+	if c1 == c2 {
+		t.Fatal("one-bit key change produced identical ciphertext")
+	}
+}

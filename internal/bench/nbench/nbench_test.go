@@ -1,0 +1,193 @@
+package nbench
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllKernelsSelfCheck(t *testing.T) {
+	for k := Kernel(0); k < numKernels; k++ {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			res := RunKernel(k, 17)
+			if !res.Check {
+				t.Fatalf("%v self-check failed", k)
+			}
+			if res.Counts.Cycles() <= 0 {
+				t.Fatalf("%v counted no work", k)
+			}
+			if res.Kernel != k {
+				t.Fatalf("result kernel mismatch: %v", res.Kernel)
+			}
+		})
+	}
+}
+
+func TestKernelsSelfCheckAcrossSeeds(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 2, 99, 12345} {
+		for k := Kernel(0); k < numKernels; k++ {
+			if res := RunKernel(k, seed); !res.Check {
+				t.Fatalf("%v failed with seed %d", k, seed)
+			}
+		}
+	}
+}
+
+func TestKernelDeterminism(t *testing.T) {
+	for k := Kernel(0); k < numKernels; k++ {
+		a := RunKernel(k, 7)
+		b := RunKernel(k, 7)
+		if a.Counts != b.Counts {
+			t.Fatalf("%v op counts nondeterministic: %+v vs %+v", k, a.Counts, b.Counts)
+		}
+	}
+}
+
+func TestIndexMembershipPartition(t *testing.T) {
+	seen := map[Kernel]Index{}
+	for _, idx := range []Index{MemIndex, IntIndex, FPIndex} {
+		for _, k := range idx.Members() {
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("%v in both %v and %v", k, prev, idx)
+			}
+			seen[k] = idx
+		}
+	}
+	if len(seen) != int(numKernels) {
+		t.Fatalf("indexes cover %d kernels, want %d", len(seen), numKernels)
+	}
+}
+
+func TestMixCharacterByIndex(t *testing.T) {
+	// The intrusiveness figures depend on each index having its expected
+	// architectural character: MEM kernels bus-heavy, FP kernels
+	// bus-light. Guard the calibration.
+	avgShare := func(idx Index) (mem, fp float64) {
+		var cycles float64
+		for _, k := range idx.Members() {
+			res := RunKernel(k, 3)
+			c := res.Counts.Cycles()
+			m := res.Counts.Mix()
+			mem += m.Mem * c
+			fp += m.FP * c
+			cycles += c
+		}
+		return mem / cycles, fp / cycles
+	}
+	memShare, _ := avgShare(MemIndex)
+	if memShare < 0.40 {
+		t.Errorf("MEM index memory share = %.3f, want ≥0.40", memShare)
+	}
+	intShare, _ := avgShare(IntIndex)
+	if intShare > 0.40 {
+		t.Errorf("INT index memory share = %.3f, want ≤0.40", intShare)
+	}
+	fpMem, fpShare := avgShare(FPIndex)
+	if fpMem > 0.20 {
+		t.Errorf("FP index memory share = %.3f, want ≤0.20", fpMem)
+	}
+	if fpShare < 0.5 {
+		t.Errorf("FP index floating-point share = %.3f, want ≥0.5", fpShare)
+	}
+}
+
+func TestIDEAMulInvProperty(t *testing.T) {
+	f := func(x uint16) bool {
+		if x == 0 {
+			return true // 0 represents 2^16; inverse handled separately
+		}
+		inv := mulInv(x)
+		return ideaMul(x, inv) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIDEAKeyInversion(t *testing.T) {
+	var key [16]byte
+	for i := range key {
+		key[i] = byte(i*37 + 11)
+	}
+	ek := ideaExpandKey(key)
+	dk := ideaInvKey(ek)
+	var ops KernelResult
+	_ = ops
+	blk := [4]uint16{0x1234, 0x5678, 0x9ABC, 0xDEF0}
+	var c1, c2 KernelResult
+	_ = c1
+	_ = c2
+	enc := ideaCrypt(blk, ek, &c1.Counts)
+	dec := ideaCrypt(enc, dk, &c2.Counts)
+	if dec != blk {
+		t.Fatalf("IDEA round trip failed: %v -> %v -> %v", blk, enc, dec)
+	}
+	if enc == blk {
+		t.Fatal("IDEA encryption is the identity")
+	}
+}
+
+func TestSoftFloatAgainstHardware(t *testing.T) {
+	var ops KernelResult
+	cases := [][2]float64{{1, 1}, {2, 3}, {0.5, 8}, {100, 0.25}, {7.5, 7.5}}
+	for _, c := range cases {
+		got := softMul(softFromFloat(c[0]), softFromFloat(c[1]), &ops.Counts).toFloat()
+		want := c[0] * c[1]
+		if got < want*0.999 || got > want*1.001 {
+			t.Fatalf("softMul(%v,%v) = %v, want ≈%v", c[0], c[1], got, want)
+		}
+	}
+	// Zero handling.
+	if softMul(softFromFloat(0), softFromFloat(5), &ops.Counts).toFloat() != 0 {
+		t.Fatal("0·5 ≠ 0")
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	cases := map[uint32]int{0: 0, 1: 1, 3: 2, 0xFF: 8, 0xFFFFFFFF: 32, 0x80000001: 2}
+	for in, want := range cases {
+		if got := popcount(in); got != want {
+			t.Errorf("popcount(%#x) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestProfileAndSuiteProfile(t *testing.T) {
+	p, res := Profile(NumericSort, 1, 3)
+	if !res.Check {
+		t.Fatal("kernel failed during profile capture")
+	}
+	want := res.Counts.Cycles() * 3
+	if p.TotalCycles() < want*0.999 || p.TotalCycles() > want*1.001 {
+		t.Fatalf("profile cycles %v, want %v", p.TotalCycles(), want)
+	}
+	sp := SuiteProfile(1, 1)
+	if sp.TotalCycles() <= p.TotalCycles() {
+		t.Fatal("suite profile smaller than a single kernel")
+	}
+}
+
+func TestKernelAndIndexStrings(t *testing.T) {
+	for k := Kernel(0); k < numKernels; k++ {
+		if k.String() == "" {
+			t.Fatal("empty kernel name")
+		}
+	}
+	if Kernel(99).String() == "" {
+		t.Fatal("unknown kernel name empty")
+	}
+	for _, idx := range []Index{MemIndex, IntIndex, FPIndex} {
+		if idx.String() == "" {
+			t.Fatal("empty index name")
+		}
+	}
+}
+
+func TestUnknownKernelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown kernel")
+		}
+	}()
+	RunKernel(Kernel(42), 1)
+}

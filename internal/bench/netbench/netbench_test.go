@@ -1,0 +1,49 @@
+package netbench
+
+import (
+	"testing"
+
+	"vmdg/internal/cost"
+	"vmdg/internal/sim"
+)
+
+func TestProfileTotals(t *testing.T) {
+	p := Profile(StreamBytes)
+	sent, _ := p.TotalNetBytes()
+	if sent != StreamBytes {
+		t.Fatalf("profile sends %d, want %d", sent, StreamBytes)
+	}
+	for _, st := range p.Steps {
+		if st.Kind == cost.StepNetSend && st.Conn != ConnID {
+			t.Fatalf("send on conn %d, want %d", st.Conn, ConnID)
+		}
+	}
+}
+
+func TestProfileNonAlignedTotal(t *testing.T) {
+	p := Profile(100000)
+	sent, _ := p.TotalNetBytes()
+	if sent != 100000 {
+		t.Fatalf("sent %d", sent)
+	}
+}
+
+func TestProfileRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero-byte stream")
+		}
+	}()
+	Profile(0)
+}
+
+func TestMbps(t *testing.T) {
+	// 10 MB in 1 s = 83.886 Mbps.
+	got := Mbps(10<<20, sim.Second)
+	if got < 83.8 || got > 84.0 {
+		t.Fatalf("Mbps = %v", got)
+	}
+	if Mbps(1, 0) != 0 {
+		t.Fatal("zero elapsed should yield 0")
+	}
+}

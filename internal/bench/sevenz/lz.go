@@ -1,0 +1,202 @@
+package sevenz
+
+import "vmdg/internal/cost"
+
+// LZ77 parameters. A 64 KB window with hash-chain matching keeps the codec
+// honest (real dictionary searches, real cache-unfriendly probes) while
+// staying fast enough to run thousands of times in tests.
+const (
+	windowBits = 16
+	windowSize = 1 << windowBits
+	minMatch   = 3
+	maxMatch   = 273
+	hashBits   = 15
+	maxProbes  = 32 // hash-chain search depth
+)
+
+// model is the shared probability state of encoder and decoder.
+type model struct {
+	isMatch  [1 << 8]uint16 // ctx: low bits of position ⊕ prev byte
+	literals *bitTree       // order-0 byte coder
+	lengths  *bitTree       // match length - minMatch, 8 bits (capped)
+	distSlot *bitTree       // 6-bit distance slot
+}
+
+func newModel() *model {
+	m := &model{
+		literals: newBitTree(8),
+		lengths:  newBitTree(8),
+		distSlot: newBitTree(6),
+	}
+	for i := range m.isMatch {
+		m.isMatch[i] = probInit
+	}
+	return m
+}
+
+func matchCtx(pos int, prev byte) int {
+	return (pos ^ int(prev)) & 0xFF
+}
+
+// distSlotOf maps a distance to its slot: slot = 2*log2(d) roughly, as in
+// LZMA. Distances 1..4 are their own slots; beyond that slot encodes the
+// exponent and one mantissa bit, with the remaining bits coded directly.
+func distSlotOf(d uint32) (slot uint32, directBits int, directVal uint32) {
+	if d < 4 {
+		return d, 0, 0
+	}
+	// Find the highest set bit.
+	n := 31
+	for d>>(uint(n)) == 0 {
+		n--
+	}
+	slot = uint32(n)<<1 | (d>>(uint(n)-1))&1
+	directBits = n - 1
+	directVal = d & (1<<uint(directBits) - 1)
+	return slot, directBits, directVal
+}
+
+func distFromSlot(slot uint32, directVal uint32) uint32 {
+	if slot < 4 {
+		return slot
+	}
+	n := slot >> 1
+	base := (2 | slot&1) << (n - 1)
+	return base | directVal
+}
+
+// Compress encodes src and returns the compressed stream plus the
+// operation tally of the encoding work.
+func Compress(src []byte) ([]byte, cost.Counts) {
+	ops := &opCount{}
+	enc := newRangeEncoder(ops)
+	m := newModel()
+
+	// Hash chains: head[h] is the most recent position with hash h;
+	// prev[pos & (windowSize-1)] links back.
+	var head [1 << hashBits]int32
+	for i := range head {
+		head[i] = -1
+	}
+	prev := make([]int32, windowSize)
+
+	hash := func(p int) uint32 {
+		if p+minMatch > len(src) {
+			return 0
+		}
+		h := uint32(src[p]) | uint32(src[p+1])<<8 | uint32(src[p+2])<<16
+		h *= 2654435761
+		return h >> (32 - hashBits)
+	}
+
+	insert := func(p int) {
+		ops.hashInsert()
+		h := hash(p)
+		prev[p&(windowSize-1)] = head[h]
+		head[h] = int32(p)
+	}
+
+	// findMatch returns the best (length, distance) at pos, or length 0.
+	findMatch := func(pos int) (int, uint32) {
+		if pos+minMatch > len(src) {
+			return 0, 0
+		}
+		bestLen, bestDist := 0, uint32(0)
+		cand := head[hash(pos)]
+		limit := len(src) - pos
+		if limit > maxMatch {
+			limit = maxMatch
+		}
+		for probes := 0; cand >= 0 && probes < maxProbes; probes++ {
+			ops.probe()
+			c := int(cand)
+			if pos-c >= windowSize {
+				break
+			}
+			l := 0
+			for l < limit && src[c+l] == src[pos+l] {
+				l++
+			}
+			ops.matchCopy(l)
+			if l > bestLen {
+				bestLen, bestDist = l, uint32(pos-c)
+				if l == limit {
+					break
+				}
+			}
+			cand = prev[c&(windowSize-1)]
+		}
+		if bestLen < minMatch {
+			return 0, 0
+		}
+		return bestLen, bestDist
+	}
+
+	pos := 0
+	var prevByte byte
+	for pos < len(src) {
+		length, dist := findMatch(pos)
+		ctx := matchCtx(pos, prevByte)
+		if length >= minMatch {
+			enc.encodeBit(&m.isMatch[ctx], 1)
+			capped := length - minMatch
+			if capped > 255 {
+				capped = 255
+				length = 255 + minMatch
+			}
+			m.lengths.encode(enc, uint32(capped))
+			slot, db, dv := distSlotOf(dist)
+			m.distSlot.encode(enc, slot)
+			if db > 0 {
+				enc.encodeDirect(dv, db)
+			}
+			for i := 0; i < length; i++ {
+				insert(pos + i)
+			}
+			pos += length
+			prevByte = src[pos-1]
+			continue
+		}
+		enc.encodeBit(&m.isMatch[ctx], 0)
+		ops.literal()
+		m.literals.encode(enc, uint32(src[pos]))
+		insert(pos)
+		prevByte = src[pos]
+		pos++
+	}
+	return enc.flush(), ops.c
+}
+
+// Decompress reverses Compress. dstLen must be the original length.
+func Decompress(data []byte, dstLen int) ([]byte, cost.Counts) {
+	ops := &opCount{}
+	dec := newRangeDecoder(data, ops)
+	m := newModel()
+	dst := make([]byte, 0, dstLen)
+	var prevByte byte
+	for len(dst) < dstLen {
+		ctx := matchCtx(len(dst), prevByte)
+		if dec.decodeBit(&m.isMatch[ctx]) == 1 {
+			length := int(m.lengths.decode(dec)) + minMatch
+			slot := m.distSlot.decode(dec)
+			var dv uint32
+			if slot >= 4 {
+				db := int(slot>>1) - 1
+				dv = dec.decodeDirect(db)
+			}
+			dist := int(distFromSlot(slot, dv))
+			start := len(dst) - dist
+			for i := 0; i < length; i++ {
+				dst = append(dst, dst[start+i])
+			}
+			ops.matchCopy(length)
+			prevByte = dst[len(dst)-1]
+			continue
+		}
+		b := byte(m.literals.decode(dec))
+		ops.literal()
+		dst = append(dst, b)
+		prevByte = b
+	}
+	return dst, ops.c
+}

@@ -1,0 +1,187 @@
+package boinc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Project is a BOINC-style project server: it generates work units,
+// hands out replicas to volunteers, and validates returned results by
+// quorum — the redundancy mechanism public-resource projects use against
+// faulty or malicious volunteers (Anderson 2004, cited by the paper as
+// the context for VM-based sandboxing).
+type Project struct {
+	Name string
+	// Replication is how many agreeing results a unit needs before its
+	// canonical result is accepted (2 is the classic BOINC minimum).
+	Replication int
+
+	nextUnit  int
+	seedBase  uint64
+	chunks    int
+	ckptEvery int
+
+	// assignments[unitID] lists volunteers currently holding a replica.
+	assignments map[string][]string
+	// reports[unitID] collects returned peak bins by volunteer.
+	reports map[string]map[string]int
+	// canonical[unitID] holds the quorum-validated result.
+	canonical map[string]int
+	// invalid counts reports that disagreed with an established quorum.
+	invalid int
+}
+
+// NewProject creates a server whose units carry the given chunk count.
+func NewProject(name string, replication, chunksPerUnit int, seedBase uint64) *Project {
+	if replication < 1 {
+		panic("boinc: replication must be ≥ 1")
+	}
+	if chunksPerUnit <= 0 {
+		panic("boinc: chunksPerUnit must be positive")
+	}
+	return &Project{
+		Name:        name,
+		Replication: replication,
+		seedBase:    seedBase,
+		chunks:      chunksPerUnit,
+		ckptEvery:   chunksPerUnit / 8,
+		assignments: map[string][]string{},
+		reports:     map[string]map[string]int{},
+		canonical:   map[string]int{},
+	}
+}
+
+// unitID formats the id of the i-th generated unit.
+func (p *Project) unitID(i int) string { return fmt.Sprintf("%s-wu-%06d", p.Name, i) }
+
+// unitByID reconstructs the deterministic work unit for an id.
+func (p *Project) unitFor(i int) WorkUnit {
+	return WorkUnit{
+		ID:              p.unitID(i),
+		Seed:            p.seedBase + uint64(i),
+		Chunks:          p.chunks,
+		CheckpointEvery: p.ckptEvery,
+	}
+}
+
+// RequestWork assigns a replica to the volunteer: first any unit still
+// short of its replication target that this volunteer does not already
+// hold, otherwise a fresh unit.
+func (p *Project) RequestWork(volunteer string) WorkUnit {
+	// Prefer topping up under-replicated units (deterministic order).
+	ids := make([]string, 0, len(p.assignments))
+	for id := range p.assignments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		holders := p.assignments[id]
+		if _, done := p.canonical[id]; done {
+			continue
+		}
+		// A unit needs enough further agreeing reports to reach quorum
+		// beyond its best current agreement; replicas in flight count
+		// toward that. A 1–1 split therefore re-issues a tie-breaker.
+		best := 0
+		tally := map[int]int{}
+		for _, v := range p.reports[id] {
+			tally[v]++
+			if tally[v] > best {
+				best = tally[v]
+			}
+		}
+		if len(holders) >= p.Replication-best {
+			continue
+		}
+		if containsString(holders, volunteer) {
+			continue
+		}
+		if _, reported := p.reports[id][volunteer]; reported {
+			continue
+		}
+		p.assignments[id] = append(holders, volunteer)
+		var idx int
+		fmt.Sscanf(id, p.Name+"-wu-%06d", &idx)
+		return p.unitFor(idx)
+	}
+	// Fresh unit.
+	i := p.nextUnit
+	p.nextUnit++
+	id := p.unitID(i)
+	p.assignments[id] = []string{volunteer}
+	return p.unitFor(i)
+}
+
+// TrueResult computes the ground-truth peak bin for a unit — what an
+// honest volunteer's computation yields (the result is a pure function of
+// the unit's seed).
+func TrueResult(wu WorkUnit) int {
+	return EinsteinChunk(wu.Seed).PeakBin
+}
+
+// SubmitResult records a volunteer's returned peak bin and runs quorum
+// validation. It reports whether the unit now has a canonical result.
+func (p *Project) SubmitResult(volunteer, unitID string, peakBin int) (validated bool) {
+	if p.reports[unitID] == nil {
+		p.reports[unitID] = map[string]int{}
+	}
+	p.reports[unitID][volunteer] = peakBin
+	p.assignments[unitID] = removeString(p.assignments[unitID], volunteer)
+
+	if existing, done := p.canonical[unitID]; done {
+		if peakBin != existing {
+			p.invalid++
+		}
+		return true
+	}
+	// Quorum: Replication agreeing values among the reports.
+	counts := map[int]int{}
+	for _, v := range p.reports[unitID] {
+		counts[v]++
+		if counts[v] >= p.Replication {
+			p.canonical[unitID] = v
+			// Late disagreements already on file count as invalid.
+			for _, other := range p.reports[unitID] {
+				if other != v {
+					p.invalid++
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Validated returns how many units have canonical results.
+func (p *Project) Validated() int { return len(p.canonical) }
+
+// Invalid returns how many reports disagreed with established quorums.
+func (p *Project) Invalid() int { return p.invalid }
+
+// Canonical returns the validated result for a unit, if any.
+func (p *Project) Canonical(unitID string) (int, bool) {
+	v, ok := p.canonical[unitID]
+	return v, ok
+}
+
+// Outstanding reports units generated but not yet validated.
+func (p *Project) Outstanding() int { return p.nextUnit - len(p.canonical) }
+
+func containsString(xs []string, v string) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func removeString(xs []string, v string) []string {
+	out := xs[:0]
+	for _, x := range xs {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}

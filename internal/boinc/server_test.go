@@ -1,0 +1,166 @@
+package boinc
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestProjectAssignsReplicasToDistinctVolunteers(t *testing.T) {
+	p := NewProject("einstein", 2, 64, 100)
+	wuA := p.RequestWork("alice")
+	wuB := p.RequestWork("bob")
+	if wuA.ID != wuB.ID {
+		t.Fatalf("second volunteer got a fresh unit (%s vs %s); replication wants a replica", wuA.ID, wuB.ID)
+	}
+	if wuA.Seed != wuB.Seed {
+		t.Fatal("replicas differ in seed")
+	}
+	// A third volunteer gets a new unit: the first is fully assigned.
+	wuC := p.RequestWork("carol")
+	if wuC.ID == wuA.ID {
+		t.Fatal("over-assigned replica")
+	}
+	// Alice cannot hold two replicas of one unit.
+	wuA2 := p.RequestWork("alice")
+	if wuA2.ID == wuA.ID {
+		t.Fatal("volunteer holds two replicas of the same unit")
+	}
+}
+
+func TestQuorumValidation(t *testing.T) {
+	p := NewProject("einstein", 2, 64, 7)
+	wu := p.RequestWork("alice")
+	p.RequestWork("bob") // replica of the same unit
+	truth := TrueResult(wu)
+
+	if p.SubmitResult("alice", wu.ID, truth) {
+		t.Fatal("validated with a single result at replication 2")
+	}
+	if !p.SubmitResult("bob", wu.ID, truth) {
+		t.Fatal("agreeing quorum did not validate")
+	}
+	got, ok := p.Canonical(wu.ID)
+	if !ok || got != truth {
+		t.Fatalf("canonical = %v,%v want %v", got, ok, truth)
+	}
+	if p.Validated() != 1 || p.Invalid() != 0 {
+		t.Fatalf("validated=%d invalid=%d", p.Validated(), p.Invalid())
+	}
+}
+
+func TestFaultyVolunteerOutvoted(t *testing.T) {
+	p := NewProject("einstein", 2, 64, 13)
+	wu := p.RequestWork("mallory")
+	p.RequestWork("alice")
+	truth := TrueResult(wu)
+
+	// Mallory lies; alice reports truth: no quorum yet (1 vs 1).
+	if p.SubmitResult("mallory", wu.ID, truth+1) {
+		t.Fatal("single bad result validated")
+	}
+	if p.SubmitResult("alice", wu.ID, truth) {
+		t.Fatal("1-1 split validated")
+	}
+	// The unit is under-replicated again: a third volunteer gets it.
+	wu3 := p.RequestWork("carol")
+	if wu3.ID != wu.ID {
+		t.Fatalf("tie-breaking replica not issued: got %s", wu3.ID)
+	}
+	if !p.SubmitResult("carol", wu.ID, truth) {
+		t.Fatal("2-of-3 quorum did not validate")
+	}
+	got, _ := p.Canonical(wu.ID)
+	if got != truth {
+		t.Fatalf("canonical %v, want truth %v", got, truth)
+	}
+	if p.Invalid() != 1 {
+		t.Fatalf("invalid = %d, want 1 (mallory's report)", p.Invalid())
+	}
+}
+
+func TestLateReportAgainstCanonical(t *testing.T) {
+	p := NewProject("e", 1, 64, 5)
+	wu := p.RequestWork("alice")
+	truth := TrueResult(wu)
+	p.SubmitResult("alice", wu.ID, truth)
+	// A straggler replica disagreeing with the canonical result counts
+	// as invalid but does not change it.
+	p.SubmitResult("bob", wu.ID, truth+5)
+	if p.Invalid() != 1 {
+		t.Fatalf("invalid = %d", p.Invalid())
+	}
+	got, _ := p.Canonical(wu.ID)
+	if got != truth {
+		t.Fatal("canonical overwritten by straggler")
+	}
+}
+
+func TestProjectEndToEndGrid(t *testing.T) {
+	// A small grid: 4 volunteers (one faulty) chew through units with
+	// replication 2; every validated unit must carry the true result.
+	p := NewProject("grid", 2, 32, 42)
+	volunteers := []string{"v0", "v1", "v2", "evil"}
+	type held struct {
+		wu WorkUnit
+	}
+	holding := map[string]held{}
+	for round := 0; round < 40; round++ {
+		for _, v := range volunteers {
+			if h, ok := holding[v]; ok {
+				result := TrueResult(h.wu)
+				if v == "evil" {
+					result = -1
+				}
+				p.SubmitResult(v, h.wu.ID, result)
+				delete(holding, v)
+				continue
+			}
+			holding[v] = held{wu: p.RequestWork(v)}
+		}
+	}
+	if p.Validated() < 10 {
+		t.Fatalf("only %d units validated over 40 rounds", p.Validated())
+	}
+	for i := 0; i < p.nextUnit; i++ {
+		id := p.unitID(i)
+		if got, ok := p.Canonical(id); ok {
+			if want := TrueResult(p.unitFor(i)); got != want {
+				t.Fatalf("unit %s validated wrong result %d (truth %d)", id, got, want)
+			}
+		}
+	}
+	if p.Invalid() == 0 {
+		t.Fatal("the faulty volunteer was never caught")
+	}
+	if p.Outstanding() < 0 {
+		t.Fatal("negative outstanding count")
+	}
+}
+
+func TestProjectRejectsBadConfig(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewProject("x", 0, 10, 1) },
+		func() { NewProject("x", 1, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestUnitIDsAreStable(t *testing.T) {
+	p := NewProject("e", 1, 16, 9)
+	a := p.RequestWork("v")
+	var idx int
+	if _, err := fmt.Sscanf(a.ID, "e-wu-%06d", &idx); err != nil || idx != 0 {
+		t.Fatalf("unit id %q did not parse", a.ID)
+	}
+	if p.unitFor(0).Seed != a.Seed {
+		t.Fatal("unitFor not reproducible")
+	}
+}

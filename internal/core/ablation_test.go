@@ -1,0 +1,59 @@
+package core
+
+import "testing"
+
+func TestTimesyncAblation(t *testing.T) {
+	res, err := TimesyncAblation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrueSeconds <= 0 {
+		t.Fatal("no ground-truth duration")
+	}
+	// The guest clock must be materially wrong under host load (the paper
+	// refuses to trust it), and the UDP correction must repair it.
+	if res.GuestErr < 0.10 {
+		t.Errorf("guest clock error only %.1f%% under saturation; drift model too weak", res.GuestErr*100)
+	}
+	if res.CorrectedErr > 0.02 {
+		t.Errorf("UDP-corrected error %.2f%% — external reference should be ≤2%%", res.CorrectedErr*100)
+	}
+	if res.CorrectedErr >= res.GuestErr {
+		t.Errorf("correction did not help: guest %.3f vs corrected %.3f", res.GuestErr, res.CorrectedErr)
+	}
+}
+
+func TestMigrationAblation(t *testing.T) {
+	res, err := MigrationAblation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.UnitCompleted {
+		t.Fatal("migrated work unit never completed")
+	}
+	if res.ChunksBeforeMigration <= 0 {
+		t.Fatal("no progress before migration")
+	}
+	if res.ChunksAfterRestore != res.ChunksBeforeMigration {
+		t.Errorf("progress lost in flight: before=%d restored=%d",
+			res.ChunksBeforeMigration, res.ChunksAfterRestore)
+	}
+	if res.CheckpointBytes <= 0 {
+		t.Fatal("empty checkpoint blob")
+	}
+	if res.OverlayBytes <= 0 {
+		t.Fatal("no COW overlay data (the worker checkpoints to disk)")
+	}
+}
+
+func TestMemoryFootprint(t *testing.T) {
+	res, err := MemoryFootprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, env := range GuestEnvironments() {
+		if got := res.Values[env.Name]; got != 300 {
+			t.Errorf("%s commits %v MB, want the configured 300", env.Name, got)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package core is the reproduction's experiment orchestrator: it wires
+// benchmarks, guest/host operating systems, and VMM profiles into the
+// eight figures of Domingues, Araujo & Silva, "Evaluating the Performance
+// and Intrusiveness of Virtual Machines for Desktop Grid Computing"
+// (IPDPS 2009 workshops), plus the methodology ablations (external UDP
+// timing, checkpoint/migration, memory footprint).
+//
+// Every experiment follows the paper's two-part structure:
+//
+//   - Guest performance (Figures 1–4): a benchmark runs inside a guest
+//     kernel under each environment profile; results are normalized
+//     against the same guest kernel under the native (pass-through)
+//     profile on the same simulated hardware.
+//   - Host intrusiveness (Figures 5–8): the benchmark runs as a host
+//     process while a VM executes an Einstein@home work unit at 100%
+//     virtual CPU at idle host priority; results compare against the
+//     benchmark with no VM present.
+package core
+
+import (
+	"fmt"
+
+	"vmdg/internal/cost"
+	"vmdg/internal/hostos"
+	"vmdg/internal/hw"
+	"vmdg/internal/report"
+	"vmdg/internal/sim"
+	"vmdg/internal/vmm"
+	"vmdg/internal/vmm/profiles"
+)
+
+// Config parameterizes a reproduction run.
+type Config struct {
+	// Seed drives every stochastic element (disk jitter, benchmark
+	// inputs). Identical configs reproduce identical results.
+	Seed uint64
+	// Reps is the number of measurement repetitions per data point (the
+	// paper uses ≥50; the simulator's narrow jitter makes 3–5 enough for
+	// stable means).
+	Reps int
+	// Quick trims workload sizes for use inside unit tests.
+	Quick bool
+}
+
+// DefaultConfig returns the standard reproduction configuration.
+func DefaultConfig() Config { return Config{Seed: 1, Reps: 3} }
+
+func (c Config) reps() int {
+	if c.Reps <= 0 {
+		return 3
+	}
+	return c.Reps
+}
+
+// Result is one regenerated figure.
+type Result struct {
+	// ID names the experiment ("fig1" ... "fig8", "figFP", ablations).
+	ID string
+	// Figure is the bar chart matching the paper's presentation.
+	Figure *report.Figure
+	// Series carries per-parameter detail where the paper's figure
+	// aggregates one (IOBench file sizes).
+	Series *report.Series
+	// Values indexes the headline value of each bar by label.
+	Values map[string]float64
+}
+
+func newResult(id string, fig *report.Figure) *Result {
+	return &Result{ID: id, Figure: fig, Values: map[string]float64{}}
+}
+
+func (r *Result) add(label string, v, err float64) {
+	r.Figure.AddErr(label, v, err)
+	r.Values[label] = v
+}
+
+// GuestEnvironments returns the four virtualized environments of Figures
+// 1–3 and 5–8, in the paper's presentation order.
+func GuestEnvironments() []vmm.Profile { return profiles.All() }
+
+// NetEnvironments returns the environments of Figure 4: native plus the
+// four VMMs with VMware in both bridged and NAT modes.
+func NetEnvironments() []vmm.Profile {
+	return []vmm.Profile{
+		profiles.Native(),
+		profiles.VMwarePlayer(),
+		profiles.VMwarePlayerNAT(),
+		profiles.QEMU(),
+		profiles.VirtualPC(),
+		profiles.VirtualBox(),
+	}
+}
+
+// newHost boots a fresh simulated testbed machine.
+func newHost(seed uint64) *hostos.OS {
+	s := sim.New()
+	m, err := hw.NewMachine(s, hw.Config{Seed: seed})
+	if err != nil {
+		panic(fmt.Sprintf("core: machine construction: %v", err)) // static config
+	}
+	return hostos.Boot(m)
+}
+
+// guestRun executes prog as the sole guest workload of a VM built from
+// prof on an otherwise empty host, returning the virtual wall time to
+// completion. setup, if non-nil, runs after VM construction and before
+// power-on (network dial-up, cache priming).
+func guestRun(prof vmm.Profile, prog cost.Program, seed uint64, setup func(*vmm.VM)) (sim.Time, error) {
+	host := newHost(seed)
+	vm, err := vmm.New(host, vmm.Config{Prof: prof})
+	if err != nil {
+		return 0, err
+	}
+	vm.SpawnGuest("bench", prog)
+	if setup != nil {
+		setup(vm)
+	}
+	vm.PowerOn(hostos.PrioNormal)
+	// Generous ceiling: the slowest experiment (VirtualBox NAT, 10 MB at
+	// ≈1.3 Mbps) runs for ≈65 virtual seconds.
+	if !host.RunUntilFinished(vm.Proc, 3600*sim.Second) {
+		return 0, fmt.Errorf("core: %s guest did not finish within 1h of virtual time", prof.Name)
+	}
+	done := host.Sim.Now()
+	vm.PowerOff()
+	return done, nil
+}
+
+// AllFigures regenerates every figure in paper order.
+func AllFigures(cfg Config) ([]*Result, error) {
+	type gen struct {
+		name string
+		fn   func(Config) (*Result, error)
+	}
+	gens := []gen{
+		{"fig1", Figure1}, {"fig2", Figure2}, {"fig3", Figure3},
+		{"fig4", Figure4}, {"fig5", Figure5}, {"fig6", Figure6},
+		{"figFP", FigureFP}, {"fig7", Figure7}, {"fig8", Figure8},
+	}
+	var out []*Result
+	for _, g := range gens {
+		r, err := g.fn(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", g.name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,20 @@
+package core
+
+import "testing"
+
+func TestDiagPrintAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	cfg := Config{Seed: 1, Reps: 2, Quick: true}
+	results, err := AllFigures(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		t.Logf("== %s", r.ID)
+		for _, row := range r.Figure.Rows {
+			t.Logf("  %-22s %8.4g", row.Label, row.Value)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+
+	"vmdg/internal/bench/iobench"
+	"vmdg/internal/bench/matrix"
+	"vmdg/internal/bench/netbench"
+	"vmdg/internal/bench/sevenz"
+	"vmdg/internal/cost"
+	"vmdg/internal/hostos"
+	"vmdg/internal/report"
+	"vmdg/internal/sim"
+	"vmdg/internal/stats"
+	"vmdg/internal/vmm"
+)
+
+// slowdownVsNative measures, for each guest environment, the wall-time
+// ratio of running the rep-indexed profiles under that environment versus
+// under the native profile — the normalization of Figures 1–3. Profiles
+// are paired per repetition: profs[r] runs under every environment with
+// machine seed Seed+r.
+func slowdownVsNative(cfg Config, profs []*cost.Profile, setup func(*vmm.VM)) (map[string]*stats.Sample, error) {
+	natWalls := make([]float64, len(profs))
+	for r, p := range profs {
+		w, err := guestRun(vmm.Native(), p.Iter(), cfg.Seed+uint64(r), setup)
+		if err != nil {
+			return nil, err
+		}
+		natWalls[r] = w.Seconds()
+	}
+	out := map[string]*stats.Sample{}
+	for _, prof := range GuestEnvironments() {
+		s := &stats.Sample{}
+		for r, p := range profs {
+			w, err := guestRun(prof, p.Iter(), cfg.Seed+uint64(r), setup)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(w.Seconds() / natWalls[r])
+		}
+		out[prof.Name] = s
+	}
+	return out, nil
+}
+
+// Figure1 regenerates "Relative performance of 7z on virtual machines":
+// the real LZ77+range-coder benchmark runs in each guest; bars are wall
+// time normalized to native (1.0 = native, bigger = slower).
+func Figure1(cfg Config) (*Result, error) {
+	block, passes := 512<<10, 2
+	if cfg.Quick {
+		block, passes = 128<<10, 1
+	}
+	profs := make([]*cost.Profile, cfg.reps())
+	for r := range profs {
+		p, run := sevenz.Profile(cfg.Seed+uint64(r), block, passes)
+		if !run.RoundTrip {
+			return nil, fmt.Errorf("7z codec round trip failed at rep %d", r)
+		}
+		profs[r] = p
+	}
+	samples, err := slowdownVsNative(cfg, profs, nil)
+	if err != nil {
+		return nil, err
+	}
+	fig := &report.Figure{
+		Title:    "Figure 1 — Relative performance of 7z on virtual machines",
+		Unit:     "x native",
+		Baseline: 1,
+	}
+	res := newResult("fig1", fig)
+	res.add("native", 1.0, 0)
+	for _, prof := range GuestEnvironments() {
+		s := samples[prof.Name]
+		res.add(prof.Name, s.Mean(), s.CI95())
+	}
+	return res, nil
+}
+
+// Figure2 regenerates "Relative performance of Matrix on virtual
+// machines": the naive double-precision matrix multiply at the paper's
+// 512² and 1024² sizes (scaled down in Quick mode), normalized to native.
+func Figure2(cfg Config) (*Result, error) {
+	sizes := []int{matrix.Small, matrix.Large}
+	reps := 1 // the multiply is deterministic for a size; envs pair on it
+	if cfg.Quick {
+		sizes = []int{96, 160}
+	}
+	fig := &report.Figure{
+		Title:    "Figure 2 — Relative performance of Matrix on virtual machines",
+		Unit:     "x native",
+		Baseline: 1,
+	}
+	res := newResult("fig2", fig)
+	res.add("native", 1.0, 0)
+
+	perEnv := map[string]*stats.Sample{}
+	for _, n := range sizes {
+		prof, _ := matrix.Profile(cfg.Seed, n, reps)
+		profs := []*cost.Profile{prof}
+		samples, err := slowdownVsNative(cfg, profs, nil)
+		if err != nil {
+			return nil, err
+		}
+		for env, s := range samples {
+			if perEnv[env] == nil {
+				perEnv[env] = &stats.Sample{}
+			}
+			perEnv[env].Add(s.Mean())
+		}
+	}
+	for _, prof := range GuestEnvironments() {
+		s := perEnv[prof.Name]
+		res.add(prof.Name, s.Mean(), s.CI95())
+	}
+	return res, nil
+}
+
+// figure3Sizes is the file-size sweep, trimmed in Quick mode.
+func figure3Sizes(cfg Config) []int64 {
+	if cfg.Quick {
+		return []int64{128 << 10, 1 << 20, 4 << 20}
+	}
+	return iobench.Sizes()
+}
+
+// Figure3 regenerates "Relative performance of IOBench on virtual
+// machines": write+fsync then drop-caches+read for each file size through
+// the guest filesystem and the emulated disk. The bar is the slowdown of
+// the whole sweep; the attached Series holds the per-size detail.
+func Figure3(cfg Config) (*Result, error) {
+	sizes := figure3Sizes(cfg)
+	envs := append([]vmm.Profile{vmm.Native()}, GuestEnvironments()...)
+
+	// wall[env][size] = mean seconds over reps.
+	wall := map[string][]float64{}
+	for _, prof := range envs {
+		wall[prof.Name] = make([]float64, len(sizes))
+		for i, size := range sizes {
+			prog := &cost.Profile{Name: "iobench"}
+			prog.Steps = append(prog.Steps, iobench.WriteProfile(size).Steps...)
+			prog.Steps = append(prog.Steps, iobench.ReadProfile(size).Steps...)
+			s := &stats.Sample{}
+			for r := 0; r < cfg.reps(); r++ {
+				w, err := guestRun(prof, prog.Iter(), cfg.Seed+uint64(r), nil)
+				if err != nil {
+					return nil, err
+				}
+				s.Add(w.Seconds())
+			}
+			wall[prof.Name][i] = s.Mean()
+		}
+	}
+
+	fig := &report.Figure{
+		Title:    "Figure 3 — Relative performance of IOBench on virtual machines",
+		Unit:     "x native",
+		Baseline: 1,
+	}
+	res := newResult("fig3", fig)
+	res.add("native", 1.0, 0)
+
+	xs := make([]float64, len(sizes))
+	for i, s := range sizes {
+		xs[i] = float64(s >> 10) // KB
+	}
+	series := report.NewSeries("IOBench sweep — wall seconds per file size (write+read)", "s", xs)
+	series.Set("native", wall["native"])
+	var natTotal float64
+	for _, w := range wall["native"] {
+		natTotal += w
+	}
+	for _, prof := range GuestEnvironments() {
+		series.Set(prof.Name, wall[prof.Name])
+		var total float64
+		for _, w := range wall[prof.Name] {
+			total += w
+		}
+		res.add(prof.Name, total/natTotal, 0)
+	}
+	res.Series = series
+	return res, nil
+}
+
+// netRun transfers total bytes from a guest under prof to the LAN peer
+// and returns the wall time until the last byte is acknowledged (iperf
+// measures the full stream, not just the final socket write).
+func netRun(prof vmm.Profile, total int64, seed uint64) (sim.Time, error) {
+	host := newHost(seed)
+	vm, err := vmm.New(host, vmm.Config{Prof: prof})
+	if err != nil {
+		return 0, err
+	}
+	conn := vm.Kernel.Net.Dial(netbench.ConnID)
+	vm.SpawnGuest("iperf", netbench.Profile(total).Iter())
+	vm.PowerOn(hostos.PrioNormal)
+	deadline := 3600 * sim.Second
+	for host.Sim.Now() < deadline {
+		if conn.Drained() && conn.Acked == total {
+			break
+		}
+		next, ok := host.Sim.NextEventTime()
+		if !ok || next > deadline {
+			break
+		}
+		host.Sim.RunUntil(next)
+	}
+	if conn.Acked != total {
+		return 0, fmt.Errorf("core: %s acked %d of %d bytes", prof.Name, conn.Acked, total)
+	}
+	done := host.Sim.Now()
+	vm.PowerOff()
+	return done, nil
+}
+
+// Figure4 regenerates "Absolute performance for NetBench on virtual
+// machines": a 10 MB TCP stream (iperf-style) from the guest to a LAN
+// station; bars are achieved Mbps, absolute (higher is better).
+func Figure4(cfg Config) (*Result, error) {
+	total := int64(netbench.StreamBytes)
+	if cfg.Quick {
+		total = 2 << 20
+	}
+	fig := &report.Figure{
+		Title: "Figure 4 — Absolute performance for NetBench on virtual machines",
+		Unit:  "Mbps",
+	}
+	res := newResult("fig4", fig)
+	for _, prof := range NetEnvironments() {
+		s := &stats.Sample{}
+		for r := 0; r < cfg.reps(); r++ {
+			w, err := netRun(prof, total, cfg.Seed+uint64(r))
+			if err != nil {
+				return nil, err
+			}
+			s.Add(netbench.Mbps(total, w))
+		}
+		res.add(prof.Name, s.Mean(), s.CI95())
+	}
+	return res, nil
+}

@@ -1,0 +1,319 @@
+package guestos
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Filesystem cost constants, in kernel-class operations.
+const (
+	// pageCopyOps is the cost of moving one 4 KB page between user space
+	// and the page cache (memcpy plus radix-tree lookup and locking).
+	pageCopyOps = 900
+	// pageFaultOps covers allocating and inserting a fresh cache page.
+	pageFaultOps = 500
+	// PageSize is the guest page/block granularity.
+	PageSize = 4096
+	// writebackHighWater triggers asynchronous writeback of a file's dirty
+	// pages (a coarse stand-in for pdflush thresholds).
+	writebackHighWater = 8 << 20
+)
+
+// page tracks residency of one file page in the cache.
+type page struct {
+	file  *gfile
+	index int64 // page number within the file
+	dirty bool
+	// lruSeq implements an exact LRU without a linked list: larger = more
+	// recently touched.
+	lruSeq uint64
+}
+
+type gfile struct {
+	name    string
+	size    int64
+	diskOff int64 // contiguous on-device extent start
+	pages   map[int64]*page
+}
+
+// FileSystem is a page-cached filesystem over a BlockDevice. Files occupy
+// contiguous device extents (allocation is bump-pointer), which makes the
+// sequential-vs-random distinction of the underlying disk meaningful.
+type FileSystem struct {
+	kernel *Kernel
+	dev    BlockDevice
+
+	capacity   int64 // max cached bytes
+	cached     int64
+	files      map[string]*gfile
+	nextExtent int64
+	lruClock   uint64
+
+	// Stats
+	Hits, Misses   uint64
+	EvictedPages   uint64
+	WritebackPages uint64
+}
+
+func newFileSystem(k *Kernel, dev BlockDevice, capacity int64) *FileSystem {
+	return &FileSystem{
+		kernel:   k,
+		dev:      dev,
+		capacity: capacity,
+		files:    make(map[string]*gfile),
+	}
+}
+
+// lookup returns the file, creating it on first reference (the guest
+// benchmarks create files by writing them).
+func (fs *FileSystem) lookup(name string) *gfile {
+	f, ok := fs.files[name]
+	if !ok {
+		f = &gfile{name: name, diskOff: fs.nextExtent, pages: make(map[int64]*page)}
+		// Reserve a generous extent so growing files stay contiguous.
+		fs.nextExtent += 64 << 20
+		fs.files[name] = f
+	}
+	return f
+}
+
+// FileSize reports the current size of a file (0 if absent).
+func (fs *FileSystem) FileSize(name string) int64 {
+	if f, ok := fs.files[name]; ok {
+		return f.size
+	}
+	return 0
+}
+
+// CachedBytes reports current page-cache occupancy.
+func (fs *FileSystem) CachedBytes() int64 { return fs.cached }
+
+func (fs *FileSystem) touch(p *page) {
+	fs.lruClock++
+	p.lruSeq = fs.lruClock
+}
+
+// insert adds a page to the cache, evicting clean LRU pages if needed.
+func (fs *FileSystem) insert(f *gfile, idx int64, dirty bool) *page {
+	if p, ok := f.pages[idx]; ok {
+		p.dirty = p.dirty || dirty
+		fs.touch(p)
+		return p
+	}
+	fs.evictFor(PageSize)
+	p := &page{file: f, index: idx, dirty: dirty}
+	f.pages[idx] = p
+	fs.cached += PageSize
+	fs.touch(p)
+	fs.kernel.charge(pageFaultOps)
+	return p
+}
+
+// evictFor makes room for need bytes by discarding the least recently used
+// clean pages. Dirty pages are skipped (writeback reclaims them); if the
+// cache is entirely dirty the insert proceeds over capacity, as Linux
+// does under writeback pressure.
+func (fs *FileSystem) evictFor(need int64) {
+	if fs.cached+need <= fs.capacity {
+		return
+	}
+	type cand struct{ p *page }
+	var clean []cand
+	for _, f := range fs.files {
+		for _, p := range f.pages {
+			if !p.dirty {
+				clean = append(clean, cand{p})
+			}
+		}
+	}
+	sort.Slice(clean, func(i, j int) bool { return clean[i].p.lruSeq < clean[j].p.lruSeq })
+	for _, c := range clean {
+		if fs.cached+need <= fs.capacity {
+			return
+		}
+		delete(c.p.file.pages, c.p.index)
+		fs.cached -= PageSize
+		fs.EvictedPages++
+	}
+}
+
+// pageRange returns the page indexes covering [off, off+n).
+func pageRange(off, n int64) (first, last int64) {
+	return off / PageSize, (off + n - 1) / PageSize
+}
+
+// read services a guest read. It returns true if the thread must block on
+// device I/O (the FS will make it runnable again upon completion).
+func (fs *FileSystem) read(g *GThread, name string, off, n int64) (blocked bool) {
+	if n <= 0 {
+		return false
+	}
+	f := fs.lookup(name)
+	if off+n > f.size {
+		// Reading past EOF extends nothing: short-read the available part.
+		n = f.size - off
+		if n <= 0 {
+			return false
+		}
+	}
+	first, last := pageRange(off, n)
+	fs.kernel.charge(float64(last-first+1) * pageCopyOps)
+
+	// Collect contiguous runs of missing pages.
+	type extent struct{ fromPage, toPage int64 }
+	var missing []extent
+	for idx := first; idx <= last; idx++ {
+		if p, ok := f.pages[idx]; ok {
+			fs.touch(p)
+			fs.Hits++
+			continue
+		}
+		fs.Misses++
+		if len(missing) > 0 && missing[len(missing)-1].toPage == idx-1 {
+			missing[len(missing)-1].toPage = idx
+		} else {
+			missing = append(missing, extent{idx, idx})
+		}
+	}
+	if len(missing) == 0 {
+		return false
+	}
+	if fs.dev == nil {
+		panic(fmt.Sprintf("guestos: read miss on %q with no block device", name))
+	}
+	outstanding := len(missing)
+	for _, e := range missing {
+		e := e
+		devOff := f.diskOff + e.fromPage*PageSize
+		bytes := (e.toPage - e.fromPage + 1) * PageSize
+		fs.dev.ReadBlocks(devOff, bytes, func() {
+			for idx := e.fromPage; idx <= e.toPage; idx++ {
+				fs.insert(f, idx, false)
+			}
+			outstanding--
+			if outstanding == 0 {
+				fs.kernel.makeRunnable(g)
+				fs.kernel.interruptEntry()
+			}
+		})
+	}
+	return true
+}
+
+// write services a guest write: data lands in the cache and is flushed
+// asynchronously (or by fsync). It returns true if the thread must block —
+// only when the write triggers synchronous writeback throttling.
+func (fs *FileSystem) write(g *GThread, name string, off, n int64) (blocked bool) {
+	if n <= 0 {
+		return false
+	}
+	f := fs.lookup(name)
+	first, last := pageRange(off, n)
+	fs.kernel.charge(float64(last-first+1) * pageCopyOps)
+	for idx := first; idx <= last; idx++ {
+		fs.insert(f, idx, true)
+	}
+	if off+n > f.size {
+		f.size = off + n
+	}
+	if fs.dirtyBytes(f) >= writebackHighWater {
+		fs.flushAsync(f)
+	}
+	return false
+}
+
+func (fs *FileSystem) dirtyBytes(f *gfile) int64 {
+	var d int64
+	for _, p := range f.pages {
+		if p.dirty {
+			d += PageSize
+		}
+	}
+	return d
+}
+
+// dirtyExtents groups a file's dirty pages into contiguous runs and marks
+// them clean (the caller is committing them to the device).
+func (fs *FileSystem) dirtyExtents(f *gfile) [][2]int64 {
+	var idxs []int64
+	for _, p := range f.pages {
+		if p.dirty {
+			idxs = append(idxs, p.index)
+			p.dirty = false
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	var runs [][2]int64
+	for _, idx := range idxs {
+		if len(runs) > 0 && runs[len(runs)-1][1] == idx-1 {
+			runs[len(runs)-1][1] = idx
+		} else {
+			runs = append(runs, [2]int64{idx, idx})
+		}
+	}
+	return runs
+}
+
+// flushAsync issues writeback without blocking anyone.
+func (fs *FileSystem) flushAsync(f *gfile) {
+	if fs.dev == nil {
+		return
+	}
+	for _, run := range fs.dirtyExtents(f) {
+		bytes := (run[1] - run[0] + 1) * PageSize
+		fs.WritebackPages += uint64(bytes / PageSize)
+		fs.dev.WriteBlocks(f.diskOff+run[0]*PageSize, bytes, func() {
+			fs.kernel.interruptEntry()
+		})
+	}
+}
+
+// fsync flushes a file's dirty pages and blocks the thread until the
+// device acknowledges them all.
+func (fs *FileSystem) fsync(g *GThread, name string) (blocked bool) {
+	f, ok := fs.files[name]
+	if !ok || fs.dev == nil {
+		return false
+	}
+	runs := fs.dirtyExtents(f)
+	if len(runs) == 0 {
+		return false
+	}
+	outstanding := len(runs)
+	for _, run := range runs {
+		bytes := (run[1] - run[0] + 1) * PageSize
+		fs.WritebackPages += uint64(bytes / PageSize)
+		fs.dev.WriteBlocks(f.diskOff+run[0]*PageSize, bytes, func() {
+			outstanding--
+			if outstanding == 0 {
+				fs.kernel.makeRunnable(g)
+				fs.kernel.interruptEntry()
+			}
+		})
+	}
+	return true
+}
+
+// DropCaches discards all clean cached pages, the guest-side equivalent of
+// `echo 3 > /proc/sys/vm/drop_caches` that I/O benchmarks use to defeat
+// caching between the write and read phases. Dirty pages are retained; call
+// fsync first for a full drop.
+func (fs *FileSystem) DropCaches() {
+	for _, f := range fs.files {
+		for idx, p := range f.pages {
+			if !p.dirty {
+				delete(f.pages, idx)
+				fs.cached -= PageSize
+			}
+		}
+	}
+}
+
+// DirtyBytes reports the total dirty page bytes across all files.
+func (fs *FileSystem) DirtyBytes() int64 {
+	var d int64
+	for _, f := range fs.files {
+		d += fs.dirtyBytes(f)
+	}
+	return d
+}

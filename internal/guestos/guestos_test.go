@@ -1,0 +1,511 @@
+package guestos
+
+import (
+	"math"
+	"testing"
+
+	"vmdg/internal/cost"
+	"vmdg/internal/hw"
+	"vmdg/internal/sim"
+)
+
+// executor runs a Kernel's vCPU stream directly against the simulator at
+// native speed — the "bare metal" harness used before the VMM exists.
+type executor struct {
+	s      *sim.Simulator
+	k      *Kernel
+	freq   float64
+	halted bool
+	done   bool
+
+	cycles float64 // compute cycles executed
+}
+
+func newExecutor(s *sim.Simulator, k *Kernel) *executor {
+	e := &executor{s: s, k: k, freq: 2.4e9}
+	k.SetWake(func() {
+		if e.halted {
+			e.halted = false
+			e.s.After(0, "vcpu-wake", e.step)
+		}
+	})
+	return e
+}
+
+func (e *executor) start() { e.s.After(0, "vcpu-start", e.step) }
+
+func (e *executor) step() {
+	for {
+		st, ok := e.k.Next()
+		if !ok {
+			e.done = true
+			return
+		}
+		switch st.Kind {
+		case cost.StepCompute:
+			e.cycles += st.Cycles
+			e.s.After(sim.FromSeconds(st.Cycles/e.freq), "vcpu-compute", e.step)
+			return
+		case cost.StepHalt:
+			e.halted = true
+			return
+		default:
+			panic("kernel emitted raw step " + st.Kind.String())
+		}
+	}
+}
+
+// fakeDisk completes requests after a fixed latency plus transfer time.
+type fakeDisk struct {
+	s        *sim.Simulator
+	latency  sim.Time
+	bps      float64
+	reads    int
+	writes   int
+	readByte int64
+	writByte int64
+}
+
+func (d *fakeDisk) ReadBlocks(off, bytes int64, done func()) {
+	d.reads++
+	d.readByte += bytes
+	d.s.After(d.latency+sim.FromSeconds(float64(bytes)/d.bps), "fake-read", done)
+}
+
+func (d *fakeDisk) WriteBlocks(off, bytes int64, done func()) {
+	d.writes++
+	d.writByte += bytes
+	d.s.After(d.latency+sim.FromSeconds(float64(bytes)/d.bps), "fake-write", done)
+}
+
+// nativeNIC bridges the guest stack straight onto hardware links, the
+// native-execution topology.
+type nativeNIC struct{ tx, rx *hw.Link }
+
+func (n *nativeNIC) SendSegment(ipBytes int64, deliver func())   { n.tx.Transmit(ipBytes, deliver) }
+func (n *nativeNIC) ReturnSegment(ipBytes int64, deliver func()) { n.rx.Transmit(ipBytes, deliver) }
+
+func newKernelWithDisk(s *sim.Simulator) (*Kernel, *fakeDisk) {
+	d := &fakeDisk{s: s, latency: 5 * sim.Millisecond, bps: 60e6}
+	k := NewKernel(KernelConfig{Sim: s, Disk: d})
+	return k, d
+}
+
+func computeSteps(cycles float64, mix cost.Mix) *cost.Profile {
+	return &cost.Profile{Name: "c", Steps: []cost.Step{{Kind: cost.StepCompute, Cycles: cycles, Mix: mix}}}
+}
+
+func TestKernelRunsComputeToCompletion(t *testing.T) {
+	s := sim.New()
+	k := NewKernel(KernelConfig{Sim: s})
+	k.SpawnG("w", computeSteps(2.4e9, cost.Mix{Int: 1}).Iter())
+	e := newExecutor(s, k)
+	e.start()
+	s.Run()
+	if !e.done {
+		t.Fatal("kernel never finished")
+	}
+	// 1 s of work plus small kernel overhead.
+	got := s.Now().Seconds()
+	if got < 1.0 || got > 1.001 {
+		t.Fatalf("wall = %v, want ~1s", got)
+	}
+	if !k.AllFinished() {
+		t.Fatal("AllFinished false")
+	}
+}
+
+func TestKernelTimesliceRotation(t *testing.T) {
+	s := sim.New()
+	k := NewKernel(KernelConfig{Sim: s})
+	var g1, g2 *GThread
+	g1 = k.SpawnG("a", computeSteps(2.4e8, cost.Mix{Int: 1}).Iter())
+	g2 = k.SpawnG("b", computeSteps(2.4e8, cost.Mix{Int: 1}).Iter())
+	e := newExecutor(s, k)
+	e.start()
+	s.Run()
+	if !g1.Finished() || !g2.Finished() {
+		t.Fatal("threads unfinished")
+	}
+	// With 10 ms slices and 100 ms of work each, the kernel must have
+	// context-switched many times (≥ 2×(100/10) − slack).
+	if k.CtxSwitches < 15 {
+		t.Fatalf("ctx switches = %d, want ≥15", k.CtxSwitches)
+	}
+}
+
+func TestKernelChargesOverhead(t *testing.T) {
+	s := sim.New()
+	k := NewKernel(KernelConfig{Sim: s})
+	k.SpawnG("w", computeSteps(1e6, cost.Mix{Int: 1}).Iter())
+	e := newExecutor(s, k)
+	e.start()
+	s.Run()
+	if e.cycles <= 1e6 {
+		t.Fatalf("executed %v cycles, expected scheduler overhead on top of 1e6", e.cycles)
+	}
+}
+
+func TestGuestSleepHaltsAndWakes(t *testing.T) {
+	s := sim.New()
+	k := NewKernel(KernelConfig{Sim: s})
+	m := cost.NewMeter("sleeper")
+	m.Int(1000)
+	m.Sleep(100 * sim.Millisecond)
+	m.Int(1000)
+	k.SpawnG("sleeper", m.Profile().Iter())
+	e := newExecutor(s, k)
+	e.start()
+	s.Run()
+	if !e.done {
+		t.Fatal("did not finish")
+	}
+	if s.Now() < 100*sim.Millisecond {
+		t.Fatalf("finished at %v, sleep lost", s.Now())
+	}
+	if k.Interrupts == 0 {
+		t.Fatal("timer interrupt not accounted")
+	}
+}
+
+func TestFSWriteIsCachedThenFsyncHitsDisk(t *testing.T) {
+	s := sim.New()
+	k, d := newKernelWithDisk(s)
+	m := cost.NewMeter("writer")
+	m.DiskWrite("f", 0, 1<<20)
+	m.DiskSync("f")
+	k.SpawnG("writer", m.Profile().Iter())
+	e := newExecutor(s, k)
+	e.start()
+	s.Run()
+	if !e.done {
+		t.Fatal("did not finish")
+	}
+	if d.writes == 0 || d.writByte < 1<<20 {
+		t.Fatalf("fsync wrote %d bytes in %d ops", d.writByte, d.writes)
+	}
+	if k.FS.DirtyBytes() != 0 {
+		t.Fatalf("dirty after fsync: %d", k.FS.DirtyBytes())
+	}
+}
+
+func TestFSReadFromCacheNoDisk(t *testing.T) {
+	s := sim.New()
+	k, d := newKernelWithDisk(s)
+	m := cost.NewMeter("rw")
+	m.DiskWrite("f", 0, 256<<10)
+	m.DiskRead("f", 0, 256<<10) // still cached: no device read
+	k.SpawnG("rw", m.Profile().Iter())
+	e := newExecutor(s, k)
+	e.start()
+	s.Run()
+	if d.reads != 0 {
+		t.Fatalf("cached read hit the device %d times", d.reads)
+	}
+	if k.FS.Hits == 0 {
+		t.Fatal("no cache hits recorded")
+	}
+}
+
+func TestFSDropCachesForcesDeviceRead(t *testing.T) {
+	s := sim.New()
+	k, d := newKernelWithDisk(s)
+	m1 := cost.NewMeter("w")
+	m1.DiskWrite("f", 0, 512<<10)
+	m1.DiskSync("f")
+	k.SpawnG("w", m1.Profile().Iter())
+	e := newExecutor(s, k)
+	e.start()
+	s.Run()
+
+	k.FS.DropCaches()
+	if k.FS.CachedBytes() != 0 {
+		t.Fatalf("cache not empty after drop: %d", k.FS.CachedBytes())
+	}
+
+	m2 := cost.NewMeter("r")
+	m2.DiskRead("f", 0, 512<<10)
+	k.SpawnG("r", m2.Profile().Iter())
+	e2 := newExecutor(s, k)
+	e2.start()
+	s.Run()
+	if d.reads == 0 {
+		t.Fatal("read after drop_caches never reached the device")
+	}
+	if k.FS.Misses == 0 {
+		t.Fatal("no cache misses recorded")
+	}
+}
+
+func TestFSReadPastEOFShortReads(t *testing.T) {
+	s := sim.New()
+	k, d := newKernelWithDisk(s)
+	m := cost.NewMeter("r")
+	m.DiskRead("absent", 0, 4096) // empty file: returns immediately
+	k.SpawnG("r", m.Profile().Iter())
+	e := newExecutor(s, k)
+	e.start()
+	s.Run()
+	if !e.done {
+		t.Fatal("EOF read wedged the thread")
+	}
+	if d.reads != 0 {
+		t.Fatal("EOF read touched the device")
+	}
+}
+
+func TestFSEvictionUnderPressure(t *testing.T) {
+	s := sim.New()
+	d := &fakeDisk{s: s, latency: sim.Millisecond, bps: 600e6}
+	k := NewKernel(KernelConfig{Sim: s, Disk: d, CacheBytes: 1 << 20}) // tiny 1 MB cache
+	m := cost.NewMeter("w")
+	for i := int64(0); i < 4; i++ {
+		m.DiskWrite("f", i<<20, 1<<20)
+		m.DiskSync("f")
+	}
+	k.SpawnG("w", m.Profile().Iter())
+	e := newExecutor(s, k)
+	e.start()
+	s.Run()
+	if k.FS.CachedBytes() > 1<<20 {
+		t.Fatalf("cache %d exceeds 1 MB capacity after clean evictions", k.FS.CachedBytes())
+	}
+	if k.FS.EvictedPages == 0 {
+		t.Fatal("no evictions under pressure")
+	}
+}
+
+func TestFSFileSize(t *testing.T) {
+	s := sim.New()
+	k, _ := newKernelWithDisk(s)
+	m := cost.NewMeter("w")
+	m.DiskWrite("f", 1<<20, 4096)
+	k.SpawnG("w", m.Profile().Iter())
+	e := newExecutor(s, k)
+	e.start()
+	s.Run()
+	if got := k.FS.FileSize("f"); got != 1<<20+4096 {
+		t.Fatalf("size = %d", got)
+	}
+	if k.FS.FileSize("nope") != 0 {
+		t.Fatal("absent file has nonzero size")
+	}
+}
+
+func TestTCPThroughputNearLineRate(t *testing.T) {
+	s := sim.New()
+	nic := &nativeNIC{tx: hw.FastEthernet(s), rx: hw.FastEthernet(s)}
+	k := NewKernel(KernelConfig{Sim: s, NIC: nic})
+	k.Net.Dial(1)
+
+	const total = 10 << 20 // the paper's 10 MB stream
+	m := cost.NewMeter("iperf")
+	for sent := int64(0); sent < total; sent += 64 << 10 {
+		m.NetSend(1, 64<<10)
+	}
+	k.SpawnG("iperf", m.Profile().Iter())
+	e := newExecutor(s, k)
+	e.start()
+	s.Run()
+
+	c := k.Net.Conn(1)
+	if !c.Drained() {
+		t.Fatalf("connection not drained: buf=%d inflight=%d", c.sndBuf, c.inflight)
+	}
+	if c.Acked != total {
+		t.Fatalf("acked %d of %d", c.Acked, total)
+	}
+	mbps := float64(total) * 8 / s.Now().Seconds() / 1e6
+	if mbps < 90 || mbps > 98 {
+		t.Fatalf("native TCP goodput = %.2f Mbps, want ~94-97", mbps)
+	}
+}
+
+func TestTCPConservation(t *testing.T) {
+	s := sim.New()
+	nic := &nativeNIC{tx: hw.FastEthernet(s), rx: hw.FastEthernet(s)}
+	k := NewKernel(KernelConfig{Sim: s, NIC: nic})
+	k.Net.Dial(7)
+	m := cost.NewMeter("x")
+	m.NetSend(7, 333333) // deliberately non-MSS-aligned
+	k.SpawnG("x", m.Profile().Iter())
+	e := newExecutor(s, k)
+	e.start()
+	s.Run()
+	c := k.Net.Conn(7)
+	if c.Acked != 333333 || c.peer.BytesRcvd != 333333 {
+		t.Fatalf("conservation violated: acked=%d rcvd=%d", c.Acked, c.peer.BytesRcvd)
+	}
+	if c.SegsSent == 0 || c.AcksRcvd == 0 {
+		t.Fatal("no segments/acks recorded")
+	}
+}
+
+func TestTCPDelayedAckFlushesLoneSegment(t *testing.T) {
+	s := sim.New()
+	nic := &nativeNIC{tx: hw.FastEthernet(s), rx: hw.FastEthernet(s)}
+	k := NewKernel(KernelConfig{Sim: s, NIC: nic})
+	k.Net.Dial(1)
+	m := cost.NewMeter("x")
+	m.NetSend(1, 100) // single sub-MSS segment → delayed-ACK path
+	k.SpawnG("x", m.Profile().Iter())
+	e := newExecutor(s, k)
+	e.start()
+	s.Run()
+	c := k.Net.Conn(1)
+	if c.Acked != 100 {
+		t.Fatalf("lone segment never acked: %d", c.Acked)
+	}
+	if s.Now() < delayedAckTimeout {
+		t.Fatalf("ack arrived before delack timeout: %v", s.Now())
+	}
+}
+
+func TestUDPRequestResponse(t *testing.T) {
+	s := sim.New()
+	nic := &nativeNIC{tx: hw.FastEthernet(s), rx: hw.FastEthernet(s)}
+	k := NewKernel(KernelConfig{Sim: s, NIC: nic})
+	u := k.Net.OpenUDP(5)
+	u.Responder = func(d Datagram) Datagram {
+		return Datagram{Bytes: 48, Data: "reply-to-" + d.Data.(string)}
+	}
+	u.SendTo(Datagram{Bytes: 48, Data: "q1"})
+	s.Run()
+	if len(u.Received) != 1 {
+		t.Fatalf("received %d datagrams", len(u.Received))
+	}
+	if u.Received[0].Data.(string) != "reply-to-q1" {
+		t.Fatalf("payload = %v", u.Received[0].Data)
+	}
+	if d, ok := u.Pop(); !ok || d.Data.(string) != "reply-to-q1" {
+		t.Fatal("Pop failed")
+	}
+	if _, ok := u.Pop(); ok {
+		t.Fatal("Pop on empty queue succeeded")
+	}
+}
+
+func TestUDPRecvBlocksUntilReply(t *testing.T) {
+	s := sim.New()
+	nic := &nativeNIC{tx: hw.FastEthernet(s), rx: hw.FastEthernet(s)}
+	k := NewKernel(KernelConfig{Sim: s, NIC: nic})
+	u := k.Net.OpenUDP(9)
+	u.Responder = func(d Datagram) Datagram { return Datagram{Bytes: 48} }
+
+	m := cost.NewMeter("client")
+	m.NetSend(9, 48) // TCP send? No: conn 9 is UDP — use direct socket below.
+	_ = m
+
+	// Drive via kernel steps: a program that sends then receives.
+	prog := cost.NewMeter("c2")
+	prog.NetRecv(9, 48)
+	prog.Int(1000)
+	k.SpawnG("c2", prog.Profile().Iter())
+	// Issue the request from outside after 1 ms; the guest blocks on recv.
+	s.After(sim.Millisecond, "send-req", func() { u.SendTo(Datagram{Bytes: 48}) })
+	e := newExecutor(s, k)
+	e.start()
+	s.Run()
+	if !e.done {
+		t.Fatal("receiver never woke")
+	}
+	if u.Rcvd != 1 {
+		t.Fatalf("Rcvd = %d", u.Rcvd)
+	}
+}
+
+func TestKernelEmitsOnlyComputeAndHalt(t *testing.T) {
+	s := sim.New()
+	k, _ := newKernelWithDisk(s)
+	m := cost.NewMeter("mixed")
+	m.Int(1e5)
+	m.DiskWrite("f", 0, 64<<10)
+	m.DiskSync("f")
+	m.DiskRead("f", 0, 64<<10)
+	m.Sleep(sim.Millisecond)
+	m.FP(1e5)
+	k.SpawnG("mixed", m.Profile().Iter())
+	e := newExecutor(s, k)
+	e.start() // executor panics on any raw step kind
+	s.Run()
+	if !e.done {
+		t.Fatal("did not finish")
+	}
+}
+
+func TestNetOnKernelWithoutNICPanics(t *testing.T) {
+	s := sim.New()
+	k := NewKernel(KernelConfig{Sim: s})
+	k.Net.Dial(1)
+	m := cost.NewMeter("x")
+	m.NetSend(1, 10)
+	k.SpawnG("x", m.Profile().Iter())
+	e := newExecutor(s, k)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic without NIC")
+		}
+	}()
+	e.start()
+	s.Run()
+}
+
+func TestGuestDeterminism(t *testing.T) {
+	run := func() (sim.Time, float64, uint64) {
+		s := sim.New()
+		k, _ := newKernelWithDisk(s)
+		for i := 0; i < 3; i++ {
+			m := cost.NewMeter("w")
+			m.Int(1e7)
+			m.DiskWrite("f", int64(i)<<20, 1<<19)
+			m.DiskSync("f")
+			m.DiskRead("f", int64(i)<<20, 1<<19)
+			m.Mem(1e6)
+			k.SpawnG("w", m.Profile().Iter())
+		}
+		e := newExecutor(s, k)
+		e.start()
+		s.Run()
+		return s.Now(), e.cycles, k.CtxSwitches
+	}
+	a1, b1, c1 := run()
+	a2, b2, c2 := run()
+	if a1 != a2 || b1 != b2 || c1 != c2 {
+		t.Fatalf("guest runs diverged: (%v,%v,%d) vs (%v,%v,%d)", a1, b1, c1, a2, b2, c2)
+	}
+}
+
+func TestExactClock(t *testing.T) {
+	s := sim.New()
+	k := NewKernel(KernelConfig{Sim: s})
+	s.RunUntil(5 * sim.Second)
+	if k.GuestNow() != 5*sim.Second {
+		t.Fatalf("exact clock drifted: %v", k.GuestNow())
+	}
+}
+
+func TestPageRangeMath(t *testing.T) {
+	cases := []struct{ off, n, first, last int64 }{
+		{0, 1, 0, 0},
+		{0, 4096, 0, 0},
+		{0, 4097, 0, 1},
+		{4095, 2, 0, 1},
+		{8192, 4096, 2, 2},
+	}
+	for _, c := range cases {
+		f, l := pageRange(c.off, c.n)
+		if f != c.first || l != c.last {
+			t.Errorf("pageRange(%d,%d) = %d,%d want %d,%d", c.off, c.n, f, l, c.first, c.last)
+		}
+	}
+}
+
+func TestGThreadString(t *testing.T) {
+	g := &GThread{Name: "x"}
+	if g.String() == "" {
+		t.Fatal("empty string")
+	}
+	if math.Abs(1) != 1 { // keep math import honest alongside future checks
+		t.Fatal("math broken")
+	}
+}

@@ -1,0 +1,346 @@
+// Package guestos models the Linux guest of the paper: a small kernel that
+// multiplexes guest threads onto a single virtual CPU, a page-cache
+// filesystem over a block device, and a TCP/UDP network stack over a
+// virtual NIC.
+//
+// The kernel implements cost.Program: its Next method emits the vCPU's
+// instruction stream (compute steps, device commands, halts) *before* VMM
+// cost expansion. The same kernel therefore serves both the native baseline
+// (expansion 1, devices backed directly by hardware) and every virtualized
+// environment (expansion per profile, devices emulated) — exactly the
+// paper's methodology of running one Ubuntu image everywhere.
+package guestos
+
+import (
+	"fmt"
+
+	"vmdg/internal/cost"
+	"vmdg/internal/sim"
+)
+
+// Guest kernel overhead charges, in kernel-class operations. They model the
+// privileged work that full virtualization amplifies: context switches and
+// interrupt delivery trap into the VMM on every occurrence.
+const (
+	ctxSwitchOps   = 4000 // save/restore, runqueue, TLB effects
+	interruptOps   = 3000 // IRQ entry, handler body, wake-up, iret
+	idleEntryOps   = 800  // schedule() into the idle loop, hlt
+	timesliceCycle = 24e6 // 10 ms guest round-robin slice at 2.4 GHz
+)
+
+// BlockDevice is the disk the guest kernel's filesystem sits on: either
+// raw hardware (native baseline) or a VMM's emulated drive.
+type BlockDevice interface {
+	// ReadBlocks fetches bytes at the device offset; done fires on
+	// completion (an interrupt, from the guest's point of view).
+	ReadBlocks(off, bytes int64, done func())
+	// WriteBlocks persists bytes at the device offset.
+	WriteBlocks(off, bytes int64, done func())
+}
+
+// NetDevice is the guest's NIC: either effectively the physical adapter
+// (native) or an emulated/NATed virtual device.
+type NetDevice interface {
+	// SendSegment pushes an IP datagram toward the LAN; deliverToPeer
+	// fires at the remote station once the frame traverses the device
+	// path and the physical link.
+	SendSegment(ipBytes int64, deliverToPeer func())
+	// ReturnSegment carries a datagram from the remote station back to
+	// this guest; deliverToGuest fires when it reaches the guest stack.
+	ReturnSegment(ipBytes int64, deliverToGuest func())
+}
+
+// ClockSource supplies the guest's notion of time. Under a VMM this drifts
+// when the vCPU is descheduled (ticks are lost); natively it is exact.
+type ClockSource interface {
+	GuestNow() sim.Time
+}
+
+// ExactClock is a ClockSource with no drift, for native execution.
+type ExactClock struct{ Sim *sim.Simulator }
+
+// GuestNow returns true simulation time.
+func (c ExactClock) GuestNow() sim.Time { return c.Sim.Now() }
+
+type gstate int
+
+const (
+	gRunnable gstate = iota
+	gBlocked
+	gDone
+)
+
+// GThread is a guest-level thread.
+type GThread struct {
+	Name  string
+	prog  cost.Program
+	state gstate
+
+	// carry is the unexecuted remainder of a compute step that was split
+	// at a timeslice boundary.
+	carry cost.Step
+
+	kernel *Kernel
+}
+
+// Finished reports whether the guest thread's program has ended.
+func (g *GThread) Finished() bool { return g.state == gDone }
+
+func (g *GThread) String() string {
+	return fmt.Sprintf("gthread{%s state=%d}", g.Name, int(g.state))
+}
+
+// Kernel is the guest operating system instance.
+type Kernel struct {
+	Sim   *sim.Simulator
+	FS    *FileSystem
+	Net   *NetStack
+	Clock ClockSource
+
+	threads []*GThread
+	runq    []*GThread
+	cur     *GThread
+
+	sliceLeft float64 // cycles remaining in cur's timeslice
+
+	pendingKernel float64 // kernel-class ops to emit before the next step
+
+	// wake notifies the hosting layer that an interrupt arrived while the
+	// vCPU may be halted.
+	wake func()
+
+	// Stats
+	CtxSwitches uint64
+	Interrupts  uint64
+}
+
+// KernelConfig wires the kernel's devices.
+type KernelConfig struct {
+	Sim   *sim.Simulator
+	Disk  BlockDevice // nil if the workload does no disk I/O
+	NIC   NetDevice   // nil if the workload does no networking
+	Clock ClockSource // defaults to ExactClock
+	// CacheBytes is the page-cache capacity; defaults to 2/3 of the
+	// paper's 300 MB guest RAM.
+	CacheBytes int64
+}
+
+// NewKernel boots a guest kernel.
+func NewKernel(cfg KernelConfig) *Kernel {
+	if cfg.Sim == nil {
+		panic("guestos: KernelConfig.Sim is required")
+	}
+	k := &Kernel{Sim: cfg.Sim}
+	if cfg.Clock != nil {
+		k.Clock = cfg.Clock
+	} else {
+		k.Clock = ExactClock{Sim: cfg.Sim}
+	}
+	cache := cfg.CacheBytes
+	if cache == 0 {
+		cache = 200 << 20
+	}
+	k.FS = newFileSystem(k, cfg.Disk, cache)
+	k.Net = newNetStack(k, cfg.NIC)
+	return k
+}
+
+// SetWake installs the interrupt notification used by the hosting layer to
+// learn that a halted vCPU must resume. The VMM points this at the host
+// scheduler's Unblock; pure-guest tests may leave it unset.
+func (k *Kernel) SetWake(fn func()) { k.wake = fn }
+
+// SpawnG adds a guest thread executing prog. Spawning into an idle (halted)
+// guest raises a wake so the hosting layer resumes the vCPU.
+func (k *Kernel) SpawnG(name string, prog cost.Program) *GThread {
+	g := &GThread{Name: name, prog: prog, kernel: k}
+	k.threads = append(k.threads, g)
+	k.runq = append(k.runq, g)
+	if k.wake != nil {
+		k.wake()
+	}
+	return g
+}
+
+// AllFinished reports whether every guest thread has exited.
+func (k *Kernel) AllFinished() bool {
+	for _, g := range k.threads {
+		if g.state != gDone {
+			return false
+		}
+	}
+	return len(k.threads) > 0
+}
+
+// GuestNow exposes the guest's clock (drifting under a VMM).
+func (k *Kernel) GuestNow() sim.Time { return k.Clock.GuestNow() }
+
+// charge queues kernel-class operations to be emitted as compute before
+// the next program step; this is how FS/net/scheduler overhead reaches the
+// vCPU stream.
+func (k *Kernel) charge(ops float64) { k.pendingKernel += ops }
+
+// interruptEntry accounts for an interrupt (device completion) and pokes
+// the hosting layer in case the vCPU is halted.
+func (k *Kernel) interruptEntry() {
+	k.Interrupts++
+	k.charge(interruptOps)
+	if k.wake != nil {
+		k.wake()
+	}
+}
+
+// makeRunnable transitions a blocked guest thread back onto the run queue.
+func (k *Kernel) makeRunnable(g *GThread) {
+	if g.state != gBlocked {
+		panic(fmt.Sprintf("guestos: makeRunnable of %v", g))
+	}
+	g.state = gRunnable
+	k.runq = append(k.runq, g)
+}
+
+// blockCur parks the current thread; the caller has arranged a completion
+// that will call makeRunnable.
+func (k *Kernel) blockCur() {
+	k.cur.state = gBlocked
+	k.cur = nil
+}
+
+// Next implements cost.Program, producing the vCPU instruction stream.
+func (k *Kernel) Next() (cost.Step, bool) {
+	for spins := 0; ; spins++ {
+		if spins > 1<<20 {
+			panic("guestos: kernel made no progress")
+		}
+		// Deliver queued kernel overhead first.
+		if k.pendingKernel > 0 {
+			ops := k.pendingKernel
+			k.pendingKernel = 0
+			return cost.Step{
+				Kind:   cost.StepCompute,
+				Cycles: ops * cost.CPIKernel,
+				Mix:    cost.Mix{Kernel: 1},
+			}, true
+		}
+		// Pick a thread if none is current.
+		if k.cur == nil {
+			if len(k.runq) == 0 {
+				if k.AllFinished() {
+					return cost.Step{}, false // guest workload complete
+				}
+				// All threads blocked: idle loop, halt until interrupt.
+				k.charge(idleEntryOps)
+				return cost.Step{Kind: cost.StepHalt}, true
+			}
+			k.cur = k.runq[0]
+			k.runq = k.runq[:copy(k.runq, k.runq[1:])]
+			k.sliceLeft = timesliceCycle
+			k.CtxSwitches++
+			k.charge(ctxSwitchOps)
+			continue
+		}
+		// Resume a split compute step, if any.
+		step := k.cur.carry
+		k.cur.carry = cost.Step{}
+		if step.Kind != cost.StepCompute || step.Cycles <= 0 {
+			var ok bool
+			step, ok = k.cur.prog.Next()
+			if !ok {
+				k.cur.state = gDone
+				k.cur = nil
+				continue
+			}
+		}
+		if emitted, ok := k.handleStep(step); ok {
+			return emitted, true
+		}
+	}
+}
+
+// handleStep services one guest-thread step. It returns the step to emit on
+// the vCPU stream, or ok=false when the step was absorbed (e.g. an
+// asynchronous FS operation that blocked the thread).
+func (k *Kernel) handleStep(step cost.Step) (cost.Step, bool) {
+	switch step.Kind {
+	case cost.StepCompute:
+		if step.Cycles <= 0 {
+			return cost.Step{}, false
+		}
+		if len(k.runq) == 0 {
+			// Sole runnable thread: no reason to slice; renew in place.
+			if step.Cycles >= k.sliceLeft {
+				k.sliceLeft = timesliceCycle
+			} else {
+				k.sliceLeft -= step.Cycles
+			}
+			return step, true
+		}
+		if step.Cycles > k.sliceLeft {
+			// Split at the timeslice boundary and rotate.
+			rest := step
+			rest.Cycles = step.Cycles - k.sliceLeft
+			k.cur.carry = rest
+			out := step
+			out.Cycles = k.sliceLeft
+			cur := k.cur
+			cur.state = gRunnable
+			k.runq = append(k.runq, cur)
+			k.cur = nil
+			return out, true
+		}
+		k.sliceLeft -= step.Cycles
+		return step, true
+
+	case cost.StepDiskRead:
+		if blocked := k.FS.read(k.cur, step.File, step.Offset, step.Bytes); blocked {
+			k.blockCur()
+		}
+		return cost.Step{}, false
+
+	case cost.StepDiskWrite:
+		if blocked := k.FS.write(k.cur, step.File, step.Offset, step.Bytes); blocked {
+			k.blockCur()
+		}
+		return cost.Step{}, false
+
+	case cost.StepDiskSync:
+		if blocked := k.FS.fsync(k.cur, step.File); blocked {
+			k.blockCur()
+		}
+		return cost.Step{}, false
+
+	case cost.StepNetSend:
+		if blocked := k.Net.send(k.cur, step.Conn, step.Bytes); blocked {
+			k.blockCur()
+		}
+		return cost.Step{}, false
+
+	case cost.StepNetRecv:
+		if blocked := k.Net.recv(k.cur, step.Conn, step.Bytes); blocked {
+			k.blockCur()
+		}
+		return cost.Step{}, false
+
+	case cost.StepSleep:
+		g := k.cur
+		k.blockCur()
+		k.Sim.After(step.Dur, "guest-sleep", func() {
+			k.makeRunnable(g)
+			k.interruptEntry() // timer interrupt
+		})
+		return cost.Step{}, false
+
+	case cost.StepClock:
+		// The cycle cost was charged at capture; the (possibly drifted)
+		// value is observable via GuestNow. Nothing to emit.
+		return cost.Step{}, false
+
+	case cost.StepDropCaches:
+		k.FS.DropCaches()
+		k.charge(float64(4 * ctxSwitchOps)) // page-table walks, LRU teardown
+		return cost.Step{}, false
+
+	default:
+		panic(fmt.Sprintf("guestos: unsupported guest step %v", step.Kind))
+	}
+}

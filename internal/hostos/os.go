@@ -1,0 +1,425 @@
+package hostos
+
+import (
+	"fmt"
+
+	"vmdg/internal/cost"
+	"vmdg/internal/hw"
+	"vmdg/internal/sim"
+)
+
+// DefaultQuantum approximates the Windows XP workstation timeslice
+// (2 clock ticks × ~15.6 ms, foreground-boosted threads get more; a single
+// representative value suffices for the ratios studied here).
+const DefaultQuantum = 30 * sim.Millisecond
+
+// zeroStepLimit bounds how many zero-cost steps a thread may retire inside
+// one scheduler event before the OS declares the program defective. It
+// protects the simulator from spinning on a degenerate infinite program.
+const zeroStepLimit = 1 << 20
+
+type coreState struct {
+	t     *Thread
+	event *sim.Event // pending step-done-or-quantum event
+	// parked holds a thread displaced by a hinted preemption: the
+	// preemptor borrows this core's slot and the parked thread resumes
+	// here as soon as the core frees, without re-entering the ready
+	// queues (VMM service work runs in its VM's scheduling context).
+	parked *Thread
+}
+
+// OS is the host operating system instance for one machine.
+type OS struct {
+	M       *hw.Machine
+	Sim     *sim.Simulator
+	Quantum sim.Time
+
+	cores []coreState
+	ready [numPrio][]*Thread
+	procs []*Process
+
+	idleTime []sim.Time // per-core idle accumulation
+	lastIdle []sim.Time // per-core: when the core last became idle
+}
+
+// Boot creates the OS for machine m.
+func Boot(m *hw.Machine) *OS {
+	o := &OS{
+		M:        m,
+		Sim:      m.Sim,
+		Quantum:  DefaultQuantum,
+		cores:    make([]coreState, m.CPU.Cores),
+		idleTime: make([]sim.Time, m.CPU.Cores),
+		lastIdle: make([]sim.Time, m.CPU.Cores),
+	}
+	return o
+}
+
+// NewProcess registers an empty process.
+func (o *OS) NewProcess(name string) *Process {
+	p := &Process{Name: name}
+	o.procs = append(o.procs, p)
+	return p
+}
+
+// Spawn creates a thread in process p running prog at priority prio and
+// makes it immediately runnable.
+func (o *OS) Spawn(p *Process, name string, prio Priority, prog cost.Program) *Thread {
+	return o.SpawnWithHandler(p, name, prio, prog, nil)
+}
+
+// SpawnWithHandler is Spawn with a custom StepHandler attached before the
+// program's first step executes (required for programs whose very first
+// step needs the handler, e.g. network benchmarks).
+func (o *OS) SpawnWithHandler(p *Process, name string, prio Priority, prog cost.Program, h StepHandler) *Thread {
+	if !prio.Valid() {
+		panic(fmt.Sprintf("hostos: invalid priority %d", int(prio)))
+	}
+	t := &Thread{Name: name, Prio: prio, Proc: p, prog: prog, state: stateReady, Handler: h}
+	p.Threads = append(p.Threads, t)
+	o.transition(func() {
+		if !o.advance(t) {
+			return // program blocked or exited on its very first step
+		}
+		o.makeReady(t)
+	})
+	return t
+}
+
+// Unblock marks a blocked thread runnable again. Subsystems that accepted
+// a blocking step (disk, network, timers) call this exactly once per block.
+func (o *OS) Unblock(t *Thread) {
+	if t.state != stateBlocked {
+		panic(fmt.Sprintf("hostos: Unblock of %v", t))
+	}
+	o.transition(func() {
+		t.state = stateReady
+		if !o.advance(t) {
+			return
+		}
+		o.makeReady(t)
+	})
+}
+
+// Settle brings all running threads' accounting up to the current instant.
+// Call before reading CPUTime/CyclesDone mid-run.
+func (o *OS) Settle() { o.settleAll() }
+
+// IdleTime reports accumulated idle time for core i.
+func (o *OS) IdleTime(core int) sim.Time {
+	it := o.idleTime[core]
+	if o.cores[core].t == nil {
+		it += o.Sim.Now() - o.lastIdle[core]
+	}
+	return it
+}
+
+// ----- scheduler internals -----
+
+// transition wraps every scheduling mutation: settle progress, mutate
+// dispatch state, then refresh rates and completion events machine-wide
+// (a dispatch change on one core shifts bus contention on all cores).
+func (o *OS) transition(mutate func()) {
+	o.settleAll()
+	mutate()
+	o.refreshAll()
+}
+
+func (o *OS) settleAll() {
+	now := o.Sim.Now()
+	for i := range o.cores {
+		t := o.cores[i].t
+		if t == nil {
+			continue
+		}
+		dt := now - t.settled
+		if dt <= 0 {
+			continue
+		}
+		done := t.rate * dt.Seconds()
+		if done > t.remaining {
+			done = t.remaining
+		}
+		t.remaining -= done
+		t.cyclesDone += done
+		t.cpuTime += dt
+		t.settled = now
+	}
+}
+
+func (o *OS) refreshAll() {
+	now := o.Sim.Now()
+	shares := make([]float64, len(o.cores))
+	for i := range o.cores {
+		if t := o.cores[i].t; t != nil {
+			shares[i] = t.mix.Mem
+		} else {
+			shares[i] = -1
+		}
+	}
+	rates := o.M.CPU.Rates(shares)
+	for i := range o.cores {
+		c := &o.cores[i]
+		if c.event != nil {
+			c.event.Cancel()
+			c.event = nil
+		}
+		t := c.t
+		if t == nil {
+			continue
+		}
+		t.rate = rates[i]
+		t.settled = now
+		finish := now + sim.FromSeconds(t.remaining/t.rate)
+		if finish <= now {
+			// Sub-nanosecond residue: force progress so rounding can never
+			// produce a same-timestamp reschedule livelock.
+			finish = now + 1
+		}
+		wake := finish
+		label := "step-done"
+		if t.sliceEnd < finish {
+			wake = t.sliceEnd
+			label = "quantum"
+		}
+		core := i
+		c.event = o.Sim.At(wake, label, func() { o.coreEvent(core) })
+	}
+}
+
+// coreEvent fires when the running thread either completes its compute
+// step or exhausts its quantum, whichever came first.
+func (o *OS) coreEvent(core int) {
+	o.transition(func() {
+		c := &o.cores[core]
+		t := c.t
+		if t == nil {
+			return // stale event that escaped cancellation
+		}
+		c.event = nil
+		// Completion epsilon must exceed the worst-case event-time rounding
+		// error of 0.5 ns × rate (≈1.2 cycles at 2.4 GHz), or a step can
+		// land just above zero and masquerade as a quantum expiry.
+		if t.remaining <= 2 { // step complete (within rounding)
+			t.remaining = 0
+			if o.advance(t) {
+				// More compute: keep running, fresh completion below. The
+				// thread keeps its core; quantum continues.
+				return
+			}
+			// advance blocked or exited the thread; free the core.
+			o.undispatch(core, false)
+			o.fillCore(core)
+			return
+		}
+		// Quantum expiry: round-robin only if an equal-or-higher priority
+		// thread that may run here waits; otherwise renew the slice.
+		if o.hasReadyAtLeastFor(t.Prio, core) {
+			o.undispatch(core, true)
+			o.makeReadyBack(t)
+			o.fillCore(core)
+			return
+		}
+		t.sliceEnd = o.Sim.Now() + o.Quantum
+	})
+}
+
+// advance pulls steps from t's program until it produces compute work,
+// blocks, or exits. Returns true if t has compute work and should be
+// runnable; false if it blocked or exited (state already updated).
+func (o *OS) advance(t *Thread) bool {
+	for spins := 0; ; spins++ {
+		if spins > zeroStepLimit {
+			panic(fmt.Sprintf("hostos: thread %s made no progress over %d steps", t.Name, spins))
+		}
+		step, ok := t.prog.Next()
+		if !ok {
+			t.state = stateDone
+			if t.OnExit != nil {
+				exit := t.OnExit
+				// Fire after the transition completes so the callback sees
+				// settled accounting; zero delay keeps ordering deterministic.
+				o.Sim.After(0, "thread-exit", exit)
+			}
+			return false
+		}
+		if step.Kind == cost.StepCompute {
+			if step.Cycles <= 0 {
+				continue
+			}
+			t.remaining = step.Cycles
+			t.mix = step.Mix
+			return true
+		}
+		if t.Handler != nil {
+			if t.Handler.Handle(t, step) {
+				t.state = stateBlocked
+				return false
+			}
+			continue
+		}
+		if o.defaultHandle(t, step) {
+			t.state = stateBlocked
+			return false
+		}
+	}
+}
+
+// defaultHandle services steps every host thread supports natively.
+func (o *OS) defaultHandle(t *Thread, step cost.Step) (blocked bool) {
+	switch step.Kind {
+	case cost.StepDiskRead:
+		o.M.Disk.Submit(step.File, step.Offset, step.Bytes, false, func() { o.Unblock(t) })
+		return true
+	case cost.StepDiskWrite, cost.StepDiskSync:
+		o.M.Disk.Submit(step.File, step.Offset, step.Bytes, true, func() { o.Unblock(t) })
+		return true
+	case cost.StepSleep:
+		o.Sim.After(step.Dur, "sleep-wake", func() { o.Unblock(t) })
+		return true
+	case cost.StepClock:
+		return false // host clock reads are exact and instantaneous here
+	default:
+		panic(fmt.Sprintf("hostos: thread %s issued %v with no handler attached", t.Name, step.Kind))
+	}
+}
+
+func (o *OS) makeReady(t *Thread) {
+	t.state = stateReady
+	// Try an idle core first (affinity-permitting).
+	for i := range o.cores {
+		if o.cores[i].t == nil && t.allowedOn(i) {
+			o.dispatch(t, i)
+			return
+		}
+	}
+	// A victim hint borrows the named core when it is preemptible: the
+	// displaced thread parks on the core and resumes there when it frees.
+	if t.VictimHint != nil {
+		if c := t.VictimHint(); c >= 0 && c < len(o.cores) && t.allowedOn(c) &&
+			o.cores[c].t != nil && o.cores[c].t.Prio < t.Prio && o.cores[c].parked == nil {
+			v := o.cores[c].t
+			o.undispatch(c, true)
+			v.state = stateReady
+			o.cores[c].parked = v
+			o.dispatch(t, c)
+			return
+		}
+	}
+	// Otherwise preempt the lowest-priority running thread, if strictly
+	// lower; the victim keeps its turn at the front of its queue.
+	victimCore, victimPrio := -1, t.Prio
+	for i := range o.cores {
+		if !t.allowedOn(i) {
+			continue
+		}
+		if rp := o.cores[i].t.Prio; rp < victimPrio {
+			victimCore, victimPrio = i, rp
+		}
+	}
+	if victimCore >= 0 {
+		v := o.cores[victimCore].t
+		o.undispatch(victimCore, true)
+		o.ready[v.Prio] = append([]*Thread{v}, o.ready[v.Prio]...) // front: keeps its turn
+		v.state = stateReady
+		o.dispatch(t, victimCore)
+		return
+	}
+	o.ready[t.Prio] = append(o.ready[t.Prio], t)
+}
+
+func (o *OS) makeReadyBack(t *Thread) {
+	t.state = stateReady
+	o.ready[t.Prio] = append(o.ready[t.Prio], t)
+}
+
+func (o *OS) dispatch(t *Thread, core int) {
+	if was := o.cores[core].t; was != nil {
+		panic(fmt.Sprintf("hostos: dispatch onto busy core %d (%v)", core, was))
+	}
+	o.idleTime[core] += o.Sim.Now() - o.lastIdle[core]
+	o.cores[core].t = t
+	t.state = stateRunning
+	t.core = core
+	t.settled = o.Sim.Now()
+	t.sliceEnd = o.Sim.Now() + o.Quantum
+	t.dispatches++
+}
+
+// undispatch removes the running thread from core. preempt marks the
+// removal involuntary for accounting.
+func (o *OS) undispatch(core int, preempt bool) {
+	c := &o.cores[core]
+	t := c.t
+	if t == nil {
+		panic("hostos: undispatch of idle core")
+	}
+	if c.event != nil {
+		c.event.Cancel()
+		c.event = nil
+	}
+	if preempt {
+		t.preempted++
+	}
+	c.t = nil
+	o.lastIdle[core] = o.Sim.Now()
+}
+
+// fillCore dispatches the highest-priority ready thread onto a free core.
+// A thread parked by a hinted preemption reclaims its core first.
+func (o *OS) fillCore(core int) {
+	if o.cores[core].t != nil {
+		return
+	}
+	if v := o.cores[core].parked; v != nil {
+		o.cores[core].parked = nil
+		o.dispatch(v, core)
+		return
+	}
+	for p := numPrio - 1; p >= 0; p-- {
+		q := o.ready[p]
+		for i, t := range q {
+			if !t.allowedOn(core) {
+				continue // affinity-bound thread waits for its core
+			}
+			o.ready[p] = append(q[:i], q[i+1:]...)
+			o.dispatch(t, core)
+			return
+		}
+	}
+}
+
+// hasReadyAtLeastFor reports whether a ready thread of priority ≥ p whose
+// affinity admits the given core is waiting.
+func (o *OS) hasReadyAtLeastFor(p Priority, core int) bool {
+	for q := p; q < numPrio; q++ {
+		for _, t := range o.ready[q] {
+			if t.allowedOn(core) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (o *OS) RunFor(d sim.Time) { o.Sim.RunUntil(o.Sim.Now() + d) }
+
+// RunUntilFinished runs the simulation until the given process exits or
+// the deadline passes; it reports whether the process finished.
+func (o *OS) RunUntilFinished(p *Process, deadline sim.Time) bool {
+	for o.Sim.Now() < deadline {
+		next, ok := o.Sim.NextEventTime()
+		if !ok {
+			break
+		}
+		if next > deadline {
+			break
+		}
+		o.Sim.RunUntil(next)
+		if p.Finished() {
+			return true
+		}
+	}
+	return p.Finished()
+}

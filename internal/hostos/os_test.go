@@ -1,0 +1,390 @@
+package hostos
+
+import (
+	"math"
+	"testing"
+
+	"vmdg/internal/cost"
+	"vmdg/internal/hw"
+	"vmdg/internal/sim"
+)
+
+func newOS(t *testing.T) *OS {
+	t.Helper()
+	s := sim.New()
+	m, err := hw.NewMachine(s, hw.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Boot(m)
+}
+
+// computeProfile builds a profile of total cycles of compute with the given
+// mix, split into chunks so quantum preemption has boundaries to respect.
+func computeProfile(name string, cycles float64, mix cost.Mix) *cost.Profile {
+	const chunk = 10e6
+	p := &cost.Profile{Name: name}
+	for cycles > 0 {
+		c := math.Min(cycles, chunk)
+		p.Steps = append(p.Steps, cost.Step{Kind: cost.StepCompute, Cycles: c, Mix: mix})
+		cycles -= c
+	}
+	return p
+}
+
+func TestSingleThreadTiming(t *testing.T) {
+	o := newOS(t)
+	p := o.NewProcess("bench")
+	cycles := 2.4e9 // exactly one second at 2.4 GHz
+	var finished sim.Time
+	th := o.Spawn(p, "w", PrioNormal, computeProfile("w", cycles, cost.Mix{Int: 1}).Iter())
+	th.OnExit = func() { finished = o.Sim.Now() }
+	o.Sim.Run()
+	if math.Abs(finished.Seconds()-1.0) > 1e-6 {
+		t.Fatalf("1s of work finished at %v", finished)
+	}
+	if math.Abs(th.CyclesDone()-cycles) > 1 {
+		t.Fatalf("cycles done = %v", th.CyclesDone())
+	}
+	if math.Abs(th.CPUTime().Seconds()-1.0) > 1e-6 {
+		t.Fatalf("cpu time = %v", th.CPUTime())
+	}
+}
+
+func TestTwoALUThreadsPerfectScaling(t *testing.T) {
+	o := newOS(t)
+	p := o.NewProcess("bench")
+	cycles := 2.4e9
+	var done int
+	var last sim.Time
+	for i := 0; i < 2; i++ {
+		th := o.Spawn(p, "w", PrioNormal, computeProfile("w", cycles, cost.Mix{Int: 1}).Iter())
+		th.OnExit = func() { done++; last = o.Sim.Now() }
+	}
+	o.Sim.Run()
+	if done != 2 {
+		t.Fatalf("done = %d", done)
+	}
+	// Pure ALU threads do not contend: both finish in ~1 s.
+	if math.Abs(last.Seconds()-1.0) > 1e-6 {
+		t.Fatalf("two ALU threads finished at %v, want 1s", last)
+	}
+}
+
+func TestMemoryContentionSlowsCoRunners(t *testing.T) {
+	o := newOS(t)
+	p := o.NewProcess("bench")
+	cycles := 2.4e9
+	mix := cost.Mix{Int: 0.5, Mem: 0.5}
+	var last sim.Time
+	for i := 0; i < 2; i++ {
+		th := o.Spawn(p, "w", PrioNormal, computeProfile("w", cycles, mix).Iter())
+		th.OnExit = func() { last = o.Sim.Now() }
+	}
+	o.Sim.Run()
+	want := 1 + o.M.CPU.BusK*0.25 // slowdown 1 + K·m²
+	if math.Abs(last.Seconds()-want) > 1e-3 {
+		t.Fatalf("contended finish = %v, want ~%vs", last, want)
+	}
+}
+
+func TestThreeThreadsTwoCoresFairShare(t *testing.T) {
+	o := newOS(t)
+	p := o.NewProcess("bench")
+	cycles := 2.4e9
+	var finish []sim.Time
+	for i := 0; i < 3; i++ {
+		th := o.Spawn(p, "w", PrioNormal, computeProfile("w", cycles, cost.Mix{Int: 1}).Iter())
+		th.OnExit = func() { finish = append(finish, o.Sim.Now()) }
+	}
+	o.Sim.Run()
+	if len(finish) != 3 {
+		t.Fatalf("finished %d", len(finish))
+	}
+	// 3 seconds of aggregate work on 2 cores: last finisher ≥ 1.5 s, and
+	// round-robin should keep completions within ~a quantum of each other
+	// near the theoretical 1.5 s.
+	last := finish[2].Seconds()
+	if last < 1.499 || last > 1.6 {
+		t.Fatalf("last finish = %v, want ~1.5s", last)
+	}
+}
+
+func TestPriorityPreemption(t *testing.T) {
+	o := newOS(t)
+	low := o.NewProcess("low")
+	cycles := 2.4e9
+	// Fill both cores with low-priority work.
+	for i := 0; i < 2; i++ {
+		o.Spawn(low, "low", PrioBelowNormal, computeProfile("l", cycles, cost.Mix{Int: 1}).Iter())
+	}
+	// At t=100ms, a normal-priority thread arrives and must preempt.
+	var hiStart, hiEnd sim.Time
+	o.Sim.At(100*sim.Millisecond, "spawn-hi", func() {
+		hi := o.NewProcess("hi")
+		hiStart = o.Sim.Now()
+		th := o.Spawn(hi, "hi", PrioNormal, computeProfile("h", cycles/4, cost.Mix{Int: 1}).Iter())
+		th.OnExit = func() { hiEnd = o.Sim.Now() }
+	})
+	o.Sim.Run()
+	// 0.25 s of work, dispatched immediately via preemption.
+	if got := (hiEnd - hiStart).Seconds(); math.Abs(got-0.25) > 1e-3 {
+		t.Fatalf("high-prio latency = %v, want 0.25s", got)
+	}
+}
+
+func TestIdlePriorityStarvedByNormal(t *testing.T) {
+	o := newOS(t)
+	cycles := 2.4e9
+	pn := o.NewProcess("normal")
+	var normalEnd sim.Time
+	for i := 0; i < 2; i++ {
+		th := o.Spawn(pn, "n", PrioNormal, computeProfile("n", cycles, cost.Mix{Int: 1}).Iter())
+		th.OnExit = func() { normalEnd = o.Sim.Now() }
+	}
+	pi := o.NewProcess("idle")
+	idle := o.Spawn(pi, "i", PrioIdle, computeProfile("i", cycles, cost.Mix{Int: 1}).Iter())
+	o.RunFor(500 * sim.Millisecond)
+	o.Settle()
+	if idle.CPUTime() != 0 {
+		t.Fatalf("idle thread ran %v while normal threads saturate cores", idle.CPUTime())
+	}
+	o.Sim.Run()
+	if !idle.Finished() {
+		t.Fatal("idle thread never finished after cores freed")
+	}
+	_ = normalEnd
+}
+
+func TestQuantumRoundRobinCounts(t *testing.T) {
+	o := newOS(t)
+	p := o.NewProcess("rr")
+	cycles := 2.4e9
+	ths := make([]*Thread, 4)
+	for i := range ths {
+		ths[i] = o.Spawn(p, "w", PrioNormal, computeProfile("w", cycles, cost.Mix{Int: 1}).Iter())
+	}
+	o.Sim.Run()
+	for i, th := range ths {
+		if th.Dispatches() < 10 {
+			t.Errorf("thread %d dispatched only %d times; round-robin broken?", i, th.Dispatches())
+		}
+	}
+	// Aggregate: 4 s of work on 2 cores → 2 s wall.
+	if got := o.Sim.Now().Seconds(); math.Abs(got-2.0) > 0.05 {
+		t.Fatalf("wall = %v, want ~2s", got)
+	}
+}
+
+func TestDiskStepBlocksThread(t *testing.T) {
+	o := newOS(t)
+	p := o.NewProcess("io")
+	m := cost.NewMeter("io")
+	m.Int(1e6)
+	m.DiskRead("f", 0, 1<<20)
+	m.Int(1e6)
+	prof := m.Profile()
+	var end sim.Time
+	th := o.Spawn(p, "io", PrioNormal, prof.Iter())
+	th.OnExit = func() { end = o.Sim.Now() }
+	o.Sim.Run()
+	if !th.Finished() {
+		t.Fatal("io thread did not finish")
+	}
+	// Wall time must include the disk service (≥ ~11 ms seek + transfer)
+	// but CPU time only the compute portion.
+	if end < 10*sim.Millisecond {
+		t.Fatalf("finished at %v, disk latency missing", end)
+	}
+	if th.CPUTime() >= end {
+		t.Fatalf("cpu time %v not less than wall %v despite blocking", th.CPUTime(), end)
+	}
+	if o.M.Disk.Reads != 1 {
+		t.Fatalf("disk reads = %d", o.M.Disk.Reads)
+	}
+}
+
+func TestSleepStep(t *testing.T) {
+	o := newOS(t)
+	p := o.NewProcess("s")
+	m := cost.NewMeter("s")
+	m.Sleep(250 * sim.Millisecond)
+	var end sim.Time
+	th := o.Spawn(p, "s", PrioNormal, m.Profile().Iter())
+	th.OnExit = func() { end = o.Sim.Now() }
+	o.Sim.Run()
+	if end < 250*sim.Millisecond {
+		t.Fatalf("woke at %v", end)
+	}
+	if th.CPUTime() > sim.Millisecond {
+		t.Fatalf("sleeping burned %v CPU", th.CPUTime())
+	}
+}
+
+func TestClockStepSynchronous(t *testing.T) {
+	o := newOS(t)
+	p := o.NewProcess("c")
+	m := cost.NewMeter("c")
+	m.Clock()
+	m.Int(100)
+	th := o.Spawn(p, "c", PrioNormal, m.Profile().Iter())
+	o.Sim.Run()
+	if !th.Finished() {
+		t.Fatal("clock step wedged the thread")
+	}
+}
+
+func TestCustomHandler(t *testing.T) {
+	o := newOS(t)
+	p := o.NewProcess("h")
+	m := cost.NewMeter("h")
+	m.NetSend(1, 1000)
+	var sawSend bool
+	handler := StepHandlerFunc(func(tt *Thread, s cost.Step) bool {
+		if s.Kind == cost.StepNetSend {
+			sawSend = true
+			o.Sim.After(sim.Millisecond, "net-done", func() { o.Unblock(tt) })
+			return true
+		}
+		return false
+	})
+	th := o.SpawnWithHandler(p, "h", PrioNormal, m.Profile().Iter(), handler)
+	o.Sim.Run()
+	if !th.Finished() {
+		t.Fatal("handler thread did not finish")
+	}
+	if !sawSend {
+		t.Fatal("handler never saw the net step")
+	}
+}
+
+func TestUnhandledNetStepPanics(t *testing.T) {
+	o := newOS(t)
+	p := o.NewProcess("x")
+	m := cost.NewMeter("x")
+	m.NetSend(1, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for net step without handler")
+		}
+	}()
+	o.Spawn(p, "x", PrioNormal, m.Profile().Iter())
+	o.Sim.Run()
+}
+
+func TestInvalidPriorityPanics(t *testing.T) {
+	o := newOS(t)
+	p := o.NewProcess("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for invalid priority")
+		}
+	}()
+	o.Spawn(p, "x", Priority(99), computeProfile("x", 1, cost.Mix{Int: 1}).Iter())
+}
+
+func TestPreemptionCounted(t *testing.T) {
+	o := newOS(t)
+	lowp := o.NewProcess("low")
+	cycles := 2.4e9
+	lows := make([]*Thread, 2)
+	for i := range lows {
+		lows[i] = o.Spawn(lowp, "low", PrioIdle, computeProfile("l", cycles, cost.Mix{Int: 1}).Iter())
+	}
+	o.Sim.At(50*sim.Millisecond, "hi", func() {
+		hp := o.NewProcess("hi")
+		o.Spawn(hp, "hi", PrioNormal, computeProfile("h", cycles/10, cost.Mix{Int: 1}).Iter())
+	})
+	o.Sim.Run()
+	if lows[0].Preemptions()+lows[1].Preemptions() == 0 {
+		t.Fatal("no preemption recorded")
+	}
+}
+
+func TestProcessAccounting(t *testing.T) {
+	o := newOS(t)
+	p := o.NewProcess("acc")
+	cycles := 1.2e9
+	o.Spawn(p, "a", PrioNormal, computeProfile("a", cycles, cost.Mix{Int: 1}).Iter())
+	o.Spawn(p, "b", PrioNormal, computeProfile("b", cycles, cost.Mix{Int: 1}).Iter())
+	o.Sim.Run()
+	if math.Abs(p.CyclesDone()-2*cycles) > 1 {
+		t.Fatalf("process cycles = %v", p.CyclesDone())
+	}
+	if !p.Finished() {
+		t.Fatal("process not finished")
+	}
+	if math.Abs(p.CPUTime().Seconds()-1.0) > 1e-6 {
+		t.Fatalf("process cpu = %v, want 1s total", p.CPUTime())
+	}
+}
+
+func TestIdleTimeAccounting(t *testing.T) {
+	o := newOS(t)
+	p := o.NewProcess("i")
+	o.Spawn(p, "w", PrioNormal, computeProfile("w", 2.4e9, cost.Mix{Int: 1}).Iter())
+	o.Sim.Run()
+	// Core 0 busy 1 s; core 1 idle throughout.
+	if o.IdleTime(1) < 999*sim.Millisecond {
+		t.Fatalf("core 1 idle = %v, want ~1s", o.IdleTime(1))
+	}
+	if o.IdleTime(0) > sim.Millisecond {
+		t.Fatalf("core 0 idle = %v, want ~0", o.IdleTime(0))
+	}
+}
+
+func TestRunUntilFinished(t *testing.T) {
+	o := newOS(t)
+	p := o.NewProcess("f")
+	o.Spawn(p, "w", PrioNormal, computeProfile("w", 2.4e8, cost.Mix{Int: 1}).Iter())
+	if !o.RunUntilFinished(p, 10*sim.Second) {
+		t.Fatal("process did not finish before deadline")
+	}
+	o2 := newOS(t)
+	p2 := o2.NewProcess("f2")
+	o2.Spawn(p2, "w", PrioNormal, computeProfile("w", 2.4e12, cost.Mix{Int: 1}).Iter())
+	if o2.RunUntilFinished(p2, 10*sim.Millisecond) {
+		t.Fatal("1000s of work claimed finished in 10ms")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (sim.Time, float64, uint64) {
+		s := sim.New()
+		m, _ := hw.NewMachine(s, hw.Config{Seed: 99})
+		o := Boot(m)
+		p := o.NewProcess("d")
+		for i := 0; i < 5; i++ {
+			mm := cost.NewMeter("w")
+			mm.Int(5e8)
+			mm.DiskRead("f", int64(i)<<20, 1<<19)
+			mm.FP(3e8)
+			mm.Sleep(3 * sim.Millisecond)
+			mm.Mem(1e8)
+			o.Spawn(p, "w", PrioNormal, mm.Profile().Iter())
+		}
+		s.Run()
+		return s.Now(), p.CyclesDone(), s.Fired()
+	}
+	t1, c1, f1 := run()
+	t2, c2, f2 := run()
+	if t1 != t2 || c1 != c2 || f1 != f2 {
+		t.Fatalf("runs diverged: (%v,%v,%d) vs (%v,%v,%d)", t1, c1, f1, t2, c2, f2)
+	}
+}
+
+func TestThreadStringAndStates(t *testing.T) {
+	o := newOS(t)
+	p := o.NewProcess("s")
+	th := o.Spawn(p, "w", PrioNormal, computeProfile("w", 1e6, cost.Mix{Int: 1}).Iter())
+	if th.String() == "" {
+		t.Fatal("empty String")
+	}
+	if !th.Running() {
+		t.Fatal("spawned thread with free core should be running")
+	}
+	o.Sim.Run()
+	if !th.Finished() || th.Running() || th.Blocked() {
+		t.Fatalf("bad final state: %v", th)
+	}
+}

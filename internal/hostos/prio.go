@@ -1,0 +1,48 @@
+// Package hostos models the hosting operating system of the paper's
+// testbed: a Windows-XP-like preemptive priority scheduler over the
+// machine's physical cores.
+//
+// The scheduler is the mechanism behind the paper's intrusiveness results
+// (Figures 5–8): a virtual machine set to Idle priority should in theory
+// never disturb Normal-priority host work, yet the measured impact is
+// 10–35% for multi-threaded hosts — because the VMM's own service work
+// (device emulation, binary-translation upkeep, timer delivery) does not
+// run at the guest's priority. hostos reproduces exactly that interaction.
+//
+// Threads execute cost.Program step streams under a fluid-rate model: a
+// dispatched thread progresses at the rate hw.CPU assigns its core, which
+// varies with shared-bus pressure from the other core. All state changes
+// (dispatch, preemption, block, wake, quantum expiry) settle outstanding
+// progress first, so accounting is exact at every instant.
+package hostos
+
+import "fmt"
+
+// Priority is a Windows-style scheduling class. Higher values preempt
+// lower ones; equal values round-robin on quantum expiry.
+type Priority int
+
+// Priority classes, lowest to highest. PrioIdle corresponds to the
+// IDLE_PRIORITY_CLASS the paper assigns VMs "to minimize impact, and
+// reproduce real conditions" (§4.2.3).
+const (
+	PrioIdle Priority = iota
+	PrioBelowNormal
+	PrioNormal
+	PrioAboveNormal
+	PrioHigh
+	PrioTimeCritical
+	numPrio
+)
+
+var prioNames = [...]string{"idle", "below-normal", "normal", "above-normal", "high", "time-critical"}
+
+func (p Priority) String() string {
+	if p < 0 || p >= numPrio {
+		return fmt.Sprintf("Priority(%d)", int(p))
+	}
+	return prioNames[p]
+}
+
+// Valid reports whether p is a defined class.
+func (p Priority) Valid() bool { return p >= 0 && p < numPrio }

@@ -1,0 +1,155 @@
+package hostos
+
+import (
+	"fmt"
+
+	"vmdg/internal/cost"
+	"vmdg/internal/sim"
+)
+
+type threadState int
+
+const (
+	stateReady threadState = iota
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+var stateNames = [...]string{"ready", "running", "blocked", "done"}
+
+func (s threadState) String() string { return stateNames[s] }
+
+// Thread is a schedulable entity executing a cost.Program.
+type Thread struct {
+	Name string
+	Prio Priority
+	Proc *Process
+
+	// Handler, if non-nil, services non-compute steps the default handler
+	// cannot (network steps, guest clock reads). It is consulted first for
+	// every non-compute step.
+	Handler StepHandler
+
+	// OnExit fires when the program ends.
+	OnExit func()
+
+	// Affinity, if non-zero, is a bit mask of cores the thread may run
+	// on (bit i = core i) — SetProcessAffinityMask semantics. Zero means
+	// all cores. Desktop-grid volunteers use it to confine a VM to a
+	// subset of the machine.
+	Affinity uint64
+
+	// VictimHint, if set, nominates the core this thread should preempt
+	// when it wakes and no core is idle (-1 for no preference). VMM
+	// service threads point it at their vCPU's core: device emulation and
+	// timer work displace the VM they serve, not an unrelated process —
+	// unless the vCPU is itself starved, in which case the work lands
+	// wherever the scheduler can place it (the Figure 7 mechanism).
+	VictimHint func() int
+
+	prog  cost.Program
+	state threadState
+	core  int // valid while running
+
+	// Current compute step, expanded progress model.
+	remaining float64 // cycles left in the current compute step
+	mix       cost.Mix
+	rate      float64  // cycles/sec at last refresh
+	settled   sim.Time // time up to which remaining reflects progress
+
+	sliceEnd sim.Time // quantum expiry for the current dispatch
+
+	// Accounting.
+	cpuTime    sim.Time // time spent dispatched on a core
+	cyclesDone float64  // compute cycles retired
+	dispatches uint64
+	preempted  uint64
+}
+
+// State description helpers (primarily for tests and traces).
+
+// Running reports whether the thread is currently dispatched on a core.
+func (t *Thread) Running() bool { return t.state == stateRunning }
+
+// Core returns the core the thread last ran on (valid while Running).
+func (t *Thread) Core() int { return t.core }
+
+// Blocked reports whether the thread is waiting on I/O, sleep, or a wake.
+func (t *Thread) Blocked() bool { return t.state == stateBlocked }
+
+// Finished reports whether the thread's program has ended.
+func (t *Thread) Finished() bool { return t.state == stateDone }
+
+// CPUTime returns the accumulated time the thread has been dispatched.
+// Call OS.Settle first for an instantaneously exact figure.
+func (t *Thread) CPUTime() sim.Time { return t.cpuTime }
+
+// CyclesDone returns compute cycles retired so far.
+func (t *Thread) CyclesDone() float64 { return t.cyclesDone }
+
+// Dispatches returns how many times the thread was placed on a core.
+func (t *Thread) Dispatches() uint64 { return t.dispatches }
+
+// Preemptions returns how many times the thread was involuntarily removed
+// from a core by a higher-priority thread.
+func (t *Thread) Preemptions() uint64 { return t.preempted }
+
+// allowedOn reports whether the affinity mask admits the given core.
+func (t *Thread) allowedOn(core int) bool {
+	return t.Affinity == 0 || t.Affinity&(1<<uint(core)) != 0
+}
+
+func (t *Thread) String() string {
+	return fmt.Sprintf("thread{%s %v %v}", t.Name, t.Prio, t.state)
+}
+
+// Process groups threads for accounting, mirroring an OS process. VM
+// monitors, benchmarks, and BOINC clients are each a Process.
+type Process struct {
+	Name    string
+	Threads []*Thread
+}
+
+// CPUTime sums the CPU time of all threads in the process.
+func (p *Process) CPUTime() sim.Time {
+	var total sim.Time
+	for _, t := range p.Threads {
+		total += t.cpuTime
+	}
+	return total
+}
+
+// CyclesDone sums retired compute cycles across the process's threads.
+func (p *Process) CyclesDone() float64 {
+	var total float64
+	for _, t := range p.Threads {
+		total += t.cyclesDone
+	}
+	return total
+}
+
+// Finished reports whether every thread in the process has exited.
+func (p *Process) Finished() bool {
+	for _, t := range p.Threads {
+		if t.state != stateDone {
+			return false
+		}
+	}
+	return true
+}
+
+// StepHandler services non-compute steps on behalf of a thread. Handle
+// returns true if the thread must block; in that case the handler (or the
+// subsystem it delegated to) is responsible for calling OS.Unblock(t)
+// exactly once when the operation completes. Returning false means the
+// step completed synchronously and execution continues.
+type StepHandler interface {
+	Handle(t *Thread, s cost.Step) (blocked bool)
+}
+
+// StepHandlerFunc adapts a function to the StepHandler interface.
+type StepHandlerFunc func(t *Thread, s cost.Step) bool
+
+// Handle implements StepHandler.
+func (f StepHandlerFunc) Handle(t *Thread, s cost.Step) bool { return f(t, s) }

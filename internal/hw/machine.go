@@ -1,0 +1,87 @@
+package hw
+
+import (
+	"fmt"
+
+	"vmdg/internal/sim"
+)
+
+// Machine assembles the modelled testbed: CPU, RAM, disk, and a LAN link
+// pair to a remote station (the iperf server of the paper's NetBench).
+type Machine struct {
+	CPU      CPU
+	RAMBytes int64
+
+	Disk *Disk
+	// TX carries frames from this machine to the LAN peer; RX the reverse.
+	TX, RX *Link
+
+	Sim *sim.Simulator
+	RNG *sim.RNG
+
+	committed int64
+}
+
+// Config parameterizes machine construction; zero fields take the paper's
+// testbed defaults.
+type Config struct {
+	CPU      CPU
+	RAMBytes int64
+	Seed     uint64
+}
+
+// NewMachine builds a machine for the given simulator. Defaults reproduce
+// the paper's testbed: Core 2 Duo 6600, 1 GB RAM, desktop SATA disk,
+// switched Fast Ethernet.
+func NewMachine(s *sim.Simulator, cfg Config) (*Machine, error) {
+	if cfg.CPU.Cores == 0 {
+		cfg.CPU = Core2Duo6600()
+	}
+	if err := cfg.CPU.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.RAMBytes == 0 {
+		cfg.RAMBytes = 1 << 30 // 1 GB DDR2, per §4
+	}
+	if cfg.RAMBytes < 0 {
+		return nil, fmt.Errorf("hw: negative RAM size %d", cfg.RAMBytes)
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	m := &Machine{
+		CPU:      cfg.CPU,
+		RAMBytes: cfg.RAMBytes,
+		Sim:      s,
+		RNG:      rng,
+		Disk:     DesktopSATA(s, rng.Split()),
+		TX:       FastEthernet(s),
+		RX:       FastEthernet(s),
+	}
+	return m, nil
+}
+
+// Commit reserves bytes of physical RAM (how a system-level VMM pins its
+// configured guest memory at power-on, §4.2.1). It fails rather than swaps:
+// the paper's point is that VM memory cost is fixed and known up front, so
+// over-commit is a configuration error in this model.
+func (m *Machine) Commit(bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("hw: negative commit %d", bytes)
+	}
+	if m.committed+bytes > m.RAMBytes {
+		return fmt.Errorf("hw: commit of %d bytes exceeds RAM (%d committed of %d)",
+			bytes, m.committed, m.RAMBytes)
+	}
+	m.committed += bytes
+	return nil
+}
+
+// Release returns previously committed RAM.
+func (m *Machine) Release(bytes int64) {
+	if bytes < 0 || bytes > m.committed {
+		panic(fmt.Sprintf("hw: release of %d with %d committed", bytes, m.committed))
+	}
+	m.committed -= bytes
+}
+
+// Committed reports currently committed RAM in bytes.
+func (m *Machine) Committed() int64 { return m.committed }

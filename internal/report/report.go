@@ -1,0 +1,166 @@
+// Package report renders experiment results as the paper presents them:
+// bar charts (one bar per environment) and per-size series, in ASCII for
+// the terminal plus CSV for downstream plotting.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Row is one bar of a figure.
+type Row struct {
+	Label string
+	Value float64
+	// Err is an optional ± half-width (confidence interval).
+	Err float64
+	// Note is free-form annotation appended after the value.
+	Note string
+}
+
+// Figure is a titled bar chart.
+type Figure struct {
+	Title string
+	// Unit labels the value axis ("× native", "Mbps", "% overhead").
+	Unit string
+	// Baseline, if non-zero, draws a reference marker at this value.
+	Baseline float64
+	Rows     []Row
+}
+
+// Add appends a row.
+func (f *Figure) Add(label string, value float64) *Row {
+	f.Rows = append(f.Rows, Row{Label: label, Value: value})
+	return &f.Rows[len(f.Rows)-1]
+}
+
+// AddErr appends a row with an error bar.
+func (f *Figure) AddErr(label string, value, err float64) {
+	f.Rows = append(f.Rows, Row{Label: label, Value: value, Err: err})
+}
+
+// barWidth is the rendered width of the longest bar.
+const barWidth = 44
+
+// Render draws the figure as ASCII.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("=", len(f.Title)))
+	if len(f.Rows) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	maxVal := f.Baseline
+	maxLabel := 0
+	for _, r := range f.Rows {
+		if r.Value > maxVal {
+			maxVal = r.Value
+		}
+		if len(r.Label) > maxLabel {
+			maxLabel = len(r.Label)
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	for _, r := range f.Rows {
+		n := int(r.Value / maxVal * barWidth)
+		if n < 0 {
+			n = 0
+		}
+		if n > barWidth {
+			n = barWidth
+		}
+		bar := strings.Repeat("#", n)
+		errs := ""
+		if r.Err > 0 {
+			errs = fmt.Sprintf(" ±%.3g", r.Err)
+		}
+		note := ""
+		if r.Note != "" {
+			note = "  (" + r.Note + ")"
+		}
+		fmt.Fprintf(&b, "%-*s |%-*s| %.3g %s%s%s\n",
+			maxLabel, r.Label, barWidth, bar, r.Value, f.Unit, errs, note)
+	}
+	return b.String()
+}
+
+// CSV emits "label,value,err" lines with a header.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "label,value,err,unit\n")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%s,%g,%g,%s\n", r.Label, r.Value, r.Err, f.Unit)
+	}
+	return b.String()
+}
+
+// Series is a per-parameter curve (e.g. IOBench times per file size),
+// one line per environment.
+type Series struct {
+	Title string
+	Unit  string
+	// X holds the parameter values (file sizes, thread counts).
+	X []float64
+	// Lines maps an environment name to its Y values (len == len(X)).
+	Lines map[string][]float64
+}
+
+// NewSeries creates an empty series over the given X axis.
+func NewSeries(title, unit string, x []float64) *Series {
+	return &Series{Title: title, Unit: unit, X: x, Lines: map[string][]float64{}}
+}
+
+// Set records one line.
+func (s *Series) Set(name string, ys []float64) {
+	if len(ys) != len(s.X) {
+		panic(fmt.Sprintf("report: series %q: %d values for %d xs", name, len(ys), len(s.X)))
+	}
+	s.Lines[name] = ys
+}
+
+// Render draws the series as an aligned table.
+func (s *Series) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n", s.Title, strings.Repeat("=", len(s.Title)))
+	names := make([]string, 0, len(s.Lines))
+	for n := range s.Lines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "%12s", "x")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %14s", n)
+	}
+	fmt.Fprintf(&b, "   [%s]\n", s.Unit)
+	for i, x := range s.X {
+		fmt.Fprintf(&b, "%12g", x)
+		for _, n := range names {
+			fmt.Fprintf(&b, " %14.4g", s.Lines[n][i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV emits the series as comma-separated columns.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Lines))
+	for n := range s.Lines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "x,%s\n", strings.Join(names, ","))
+	for i, x := range s.X {
+		fmt.Fprintf(&b, "%g", x)
+		for _, n := range names {
+			fmt.Fprintf(&b, ",%g", s.Lines[n][i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

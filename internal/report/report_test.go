@@ -1,0 +1,83 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigureRender(t *testing.T) {
+	f := &Figure{Title: "Fig X", Unit: "× native", Baseline: 1}
+	f.Add("native", 1.0)
+	f.AddErr("qemu", 2.1, 0.05)
+	r := f.Rows[len(f.Rows)-1]
+	_ = r
+	out := f.Render()
+	for _, want := range []string{"Fig X", "native", "qemu", "2.1", "±"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Longest bar must be full width; shorter proportional.
+	lines := strings.Split(out, "\n")
+	var nativeBar, qemuBar int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "native") {
+			nativeBar = strings.Count(l, "#")
+		}
+		if strings.HasPrefix(l, "qemu") {
+			qemuBar = strings.Count(l, "#")
+		}
+	}
+	if qemuBar <= nativeBar || qemuBar != barWidth {
+		t.Fatalf("bar lengths native=%d qemu=%d", nativeBar, qemuBar)
+	}
+}
+
+func TestFigureEmptyAndNotes(t *testing.T) {
+	f := &Figure{Title: "Empty"}
+	if !strings.Contains(f.Render(), "(no data)") {
+		t.Fatal("empty figure render")
+	}
+	f2 := &Figure{Title: "N", Unit: "u"}
+	row := f2.Add("a", 1)
+	row.Note = "annotated"
+	if !strings.Contains(f2.Render(), "(annotated)") {
+		t.Fatal("note not rendered")
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := &Figure{Title: "Fig", Unit: "Mbps"}
+	f.AddErr("native", 97.6, 0.2)
+	csv := f.CSV()
+	if !strings.Contains(csv, "label,value,err,unit") || !strings.Contains(csv, "native,97.6,0.2,Mbps") {
+		t.Fatalf("csv:\n%s", csv)
+	}
+}
+
+func TestSeriesRenderAndCSV(t *testing.T) {
+	s := NewSeries("IOBench", "s", []float64{128, 256})
+	s.Set("native", []float64{0.1, 0.2})
+	s.Set("qemu", []float64{0.5, 1.0})
+	out := s.Render()
+	if !strings.Contains(out, "native") || !strings.Contains(out, "qemu") {
+		t.Fatalf("render:\n%s", out)
+	}
+	csv := s.CSV()
+	if !strings.HasPrefix(csv, "x,native,qemu\n") {
+		t.Fatalf("csv header:\n%s", csv)
+	}
+	if !strings.Contains(csv, "128,0.1,0.5") {
+		t.Fatalf("csv body:\n%s", csv)
+	}
+}
+
+func TestSeriesLengthMismatchPanics(t *testing.T) {
+	s := NewSeries("x", "u", []float64{1, 2, 3})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched series")
+		}
+	}()
+	s.Set("bad", []float64{1})
+}

@@ -1,0 +1,13 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// underlying the vmdg reproduction.
+//
+// The kernel is intentionally small: a virtual clock, a binary-heap event
+// queue with stable FIFO ordering for simultaneous events, and a seeded
+// SplitMix64 random number generator. Determinism is a hard requirement —
+// every experiment in the paper is a ratio of two runs, and reproducible
+// ratios demand bit-identical scheduling decisions for a given seed.
+//
+// Higher layers (internal/hw, internal/hostos, internal/vmm) are written in
+// event-callback style rather than goroutine-per-process style: goroutine
+// scheduling is nondeterministic, while a single-threaded event loop is not.
+package sim

@@ -1,0 +1,92 @@
+package sim
+
+import "math"
+
+// RNG is a deterministic SplitMix64 pseudo-random generator. It is the only
+// randomness source permitted inside a simulation: all jitter (disk seek
+// variance, measurement repetition noise) must flow through an RNG derived
+// from the experiment seed so that runs are exactly reproducible.
+//
+// SplitMix64 is chosen over math/rand for three reasons: the stream is
+// stable across Go releases, the state is a single uint64 (trivially
+// checkpointable alongside VM state), and Split allows carving independent
+// deterministic substreams for subsystems without sharing mutable state.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Distinct seeds give
+// independent-looking streams; seed 0 is valid.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Split returns a new RNG whose stream is independent of r's future output.
+// Use it to give each subsystem (disk, NIC, scheduler) its own stream so
+// adding a consumer in one subsystem cannot perturb another.
+func (r *RNG) Split() *RNG { return &RNG{state: r.Uint64()} }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Normal returns a normally distributed float64 with the given mean and
+// standard deviation, via the Box–Muller transform.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Jitter returns a multiplicative jitter factor drawn from a normal
+// distribution centred on 1 with relative standard deviation rel, clamped
+// to [0.5, 1.5] so a tail draw cannot produce a negative or absurd service
+// time. rel = 0 returns exactly 1.
+func (r *RNG) Jitter(rel float64) float64 {
+	if rel == 0 {
+		return 1
+	}
+	j := r.Normal(1, rel)
+	if j < 0.5 {
+		j = 0.5
+	}
+	if j > 1.5 {
+		j = 1.5
+	}
+	return j
+}
+
+// Exp returns an exponentially distributed float64 with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// State returns the internal generator state, for checkpointing.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a state previously obtained from State.
+func (r *RNG) SetState(s uint64) { r.state = s }

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events fire in (At, seq) order: ties on At
+// are broken by insertion order, which makes simultaneous events
+// deterministic without requiring callers to avoid them.
+type Event struct {
+	At     Time   // virtual time at which Fn fires
+	Fn     func() // callback; runs with the clock set to At
+	Label  string // optional, for traces and debugging
+	seq    uint64 // insertion order, breaks ties
+	index  int    // heap index; -1 once popped or cancelled
+	cancel bool
+}
+
+// Cancel marks the event so it will be discarded instead of fired. Cancelling
+// an already-fired event is a no-op. Cancel is O(1); the event is dropped
+// lazily when it reaches the top of the heap.
+func (e *Event) Cancel() { e.cancel = true }
+
+// Cancelled reports whether Cancel has been called.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and the event queue. It is not safe for
+// concurrent use; the entire simulation runs on one goroutine by design.
+type Simulator struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	fired   uint64
+	running bool
+	stopped bool
+	tracer  func(Time, string)
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far, a cheap progress and
+// determinism probe (two identical runs must fire identical counts).
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events currently queued (including
+// cancelled-but-unreaped ones).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// SetTracer installs a callback invoked for every labelled event fired.
+// A nil tracer disables tracing.
+func (s *Simulator) SetTracer(fn func(Time, string)) { s.tracer = fn }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// panics: it always indicates a model bug, and silently reordering time
+// would corrupt every measurement downstream.
+func (s *Simulator) At(at Time, label string, fn func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event %q at %v before now %v", label, at, s.now))
+	}
+	e := &Event{At: at, Fn: fn, Label: label, seq: s.seq}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run delay after the current time.
+func (s *Simulator) After(delay Time, label string, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for event %q", delay, label))
+	}
+	return s.At(s.now+delay, label, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// step fires the earliest non-cancelled event. It reports false when the
+// queue is exhausted.
+func (s *Simulator) step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		s.now = e.At
+		s.fired++
+		if s.tracer != nil && e.Label != "" {
+			s.tracer(s.now, e.Label)
+		}
+		e.Fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty or Stop is called. It panics if
+// invoked re-entrantly from inside an event callback.
+func (s *Simulator) Run() {
+	if s.running {
+		panic("sim: re-entrant Run")
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+	for !s.stopped && s.step() {
+	}
+}
+
+// RunUntil fires events with At <= deadline, then advances the clock to
+// exactly deadline. Events scheduled at the deadline itself do fire.
+func (s *Simulator) RunUntil(deadline Time) {
+	if s.running {
+		panic("sim: re-entrant RunUntil")
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+	for !s.stopped {
+		next, ok := s.peek()
+		if !ok || next > deadline {
+			break
+		}
+		s.step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// peek returns the time of the earliest live event.
+func (s *Simulator) peek() (Time, bool) {
+	for len(s.queue) > 0 {
+		if s.queue[0].cancel {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0].At, true
+	}
+	return 0, false
+}
+
+// NextEventTime exposes peek for schedulers that want to coalesce wakeups.
+func (s *Simulator) NextEventTime() (Time, bool) { return s.peek() }

@@ -1,0 +1,66 @@
+// Package timesync implements the external UDP time reference of the
+// paper's methodology (§4): "to circumvent the timing imprecision that
+// occur on virtual machines ... time measurements for executions under
+// virtual machines were done resorting to an external time reference. For
+// that purpose, we used a simple UDP time server running on the host
+// machine."
+//
+// The package provides the wire protocol, a real server/client over the
+// standard net package (run `vmdg-timeserver`), and a simulated client
+// that rides the guest network stack so in-simulation experiments can
+// correct guest clock drift exactly the way the paper did.
+package timesync
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// PacketSize is the fixed datagram size (a compact NTP-like exchange).
+const PacketSize = 48
+
+// Magic identifies protocol datagrams.
+const Magic = 0x564d4447 // "VMDG"
+
+// Packet is one protocol message. The client fills T1 (its clock at send)
+// and sends; the server fills T2 (its clock at receipt) and echoes. The
+// client computes the offset at receipt time T3 assuming a symmetric path:
+//
+//	offset = T2 − (T1+T3)/2
+type Packet struct {
+	Seq uint64
+	T1  int64 // client transmit timestamp, ns
+	T2  int64 // server timestamp, ns
+}
+
+// Marshal encodes the packet into a PacketSize buffer.
+func (p Packet) Marshal() []byte {
+	buf := make([]byte, PacketSize)
+	binary.BigEndian.PutUint32(buf[0:], Magic)
+	binary.BigEndian.PutUint64(buf[8:], p.Seq)
+	binary.BigEndian.PutUint64(buf[16:], uint64(p.T1))
+	binary.BigEndian.PutUint64(buf[24:], uint64(p.T2))
+	return buf
+}
+
+// Unmarshal decodes a datagram, validating size and magic.
+func Unmarshal(buf []byte) (Packet, error) {
+	if len(buf) < PacketSize {
+		return Packet{}, fmt.Errorf("timesync: short packet (%d bytes)", len(buf))
+	}
+	if binary.BigEndian.Uint32(buf[0:]) != Magic {
+		return Packet{}, fmt.Errorf("timesync: bad magic %#x", binary.BigEndian.Uint32(buf[0:]))
+	}
+	return Packet{
+		Seq: binary.BigEndian.Uint64(buf[8:]),
+		T1:  int64(binary.BigEndian.Uint64(buf[16:])),
+		T2:  int64(binary.BigEndian.Uint64(buf[24:])),
+	}, nil
+}
+
+// Offset computes the clock offset from a completed exchange: t1 and t3
+// are client clock readings around the round trip, t2 the server stamp.
+func Offset(t1, t2, t3 int64) time.Duration {
+	return time.Duration(t2 - (t1+t3)/2)
+}

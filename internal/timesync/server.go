@@ -1,0 +1,100 @@
+package timesync
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Server is the real UDP time server (the one the paper runs on the host
+// machine). It answers every valid query with its local clock.
+type Server struct {
+	conn *net.UDPConn
+	// Clock returns the server's time; defaults to the wall clock. Tests
+	// inject a fake.
+	Clock func() time.Time
+
+	// Served counts answered queries.
+	Served uint64
+}
+
+// NewServer binds a UDP socket on addr (e.g. "127.0.0.1:0").
+func NewServer(addr string) (*Server, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("timesync: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("timesync: listen %q: %w", addr, err)
+	}
+	return &Server{conn: conn, Clock: time.Now}, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.conn.LocalAddr().String() }
+
+// Serve answers queries until Close is called. It returns nil on a clean
+// shutdown.
+func (s *Server) Serve() error {
+	buf := make([]byte, 256)
+	for {
+		n, peer, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			// Closed socket: clean shutdown.
+			return nil
+		}
+		pkt, err := Unmarshal(buf[:n])
+		if err != nil {
+			continue // ignore junk, as any public UDP service must
+		}
+		pkt.T2 = s.Clock().UnixNano()
+		if _, err := s.conn.WriteToUDP(pkt.Marshal(), peer); err != nil {
+			continue
+		}
+		s.Served++
+	}
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.conn.Close() }
+
+// Query performs one real round trip against a server at addr and returns
+// the estimated clock offset (server − client) and the round-trip time.
+func Query(addr string, timeout time.Duration) (offset, rtt time.Duration, err error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return 0, 0, fmt.Errorf("timesync: resolve %q: %w", addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return 0, 0, fmt.Errorf("timesync: dial %q: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return 0, 0, err
+	}
+
+	t1 := time.Now().UnixNano()
+	q := Packet{Seq: 1, T1: t1}
+	if _, err := conn.Write(q.Marshal()); err != nil {
+		return 0, 0, fmt.Errorf("timesync: send: %w", err)
+	}
+	buf := make([]byte, 256)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return 0, 0, fmt.Errorf("timesync: recv: %w", err)
+	}
+	t3 := time.Now().UnixNano()
+	r, err := Unmarshal(buf[:n])
+	if err != nil {
+		return 0, 0, err
+	}
+	if r.Seq != q.Seq || r.T1 != t1 {
+		return 0, 0, fmt.Errorf("timesync: reply does not match query")
+	}
+	return Offset(t1, r.T2, t3), time.Duration(t3 - t1), nil
+}

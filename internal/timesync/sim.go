@@ -1,0 +1,86 @@
+package timesync
+
+import (
+	"vmdg/internal/guestos"
+	"vmdg/internal/sim"
+)
+
+// SimClient rides a guest UDP socket to the host's time service, exactly
+// as the paper's measurement harness did: the guest's own clock is
+// untrustworthy under load, so experiment timing uses guest-clock readings
+// corrected by the offset estimated from UDP exchanges with the host.
+type SimClient struct {
+	sock  *guestos.UDPSocket
+	guest guestos.ClockSource // the drifting guest clock
+	host  guestos.ClockSource // the authoritative host clock
+
+	seq     uint64
+	replies int
+	// lastOffset is the most recent offset estimate (host − guest).
+	lastOffset sim.Time
+	synced     bool
+}
+
+// simExchange is the Datagram payload of a simulated query.
+type simExchange struct {
+	seq uint64
+	t1  sim.Time // guest clock at send
+	t2  sim.Time // host clock at server
+}
+
+// NewSimClient wires a client onto socket sock of a guest kernel. guest is
+// the guest's clock; host is the time server's clock (exact simulation
+// time on the hosting machine). The server side is installed as the
+// socket's responder.
+func NewSimClient(sock *guestos.UDPSocket, guest, host guestos.ClockSource) *SimClient {
+	c := &SimClient{sock: sock, guest: guest, host: host}
+	sock.Responder = func(d guestos.Datagram) guestos.Datagram {
+		ex := d.Data.(simExchange)
+		ex.t2 = host.GuestNow() // the host clock is exact
+		return guestos.Datagram{Bytes: PacketSize, Data: ex}
+	}
+	// Stamp the offset at the reply's true arrival instant: the estimate
+	// is only valid if t3 is read when the datagram lands.
+	sock.OnDeliver = func(d guestos.Datagram) {
+		ex, ok := d.Data.(simExchange)
+		if !ok {
+			return
+		}
+		t3 := c.guest.GuestNow()
+		c.lastOffset = ex.t2 - (ex.t1+t3)/2
+		c.synced = true
+		c.replies++
+	}
+	return c
+}
+
+// Poke sends one query datagram. The reply is processed by Collect once it
+// arrives (the caller advances the simulation in between).
+func (c *SimClient) Poke() {
+	c.seq++
+	c.sock.SendTo(guestos.Datagram{
+		Bytes: PacketSize,
+		Data:  simExchange{seq: c.seq, t1: c.guest.GuestNow()},
+	})
+}
+
+// Collect drains the socket queue and reports how many replies have been
+// processed in total (offsets are stamped at arrival by the delivery hook).
+func (c *SimClient) Collect() int {
+	for {
+		if _, ok := c.sock.Pop(); !ok {
+			break
+		}
+	}
+	return c.replies
+}
+
+// Synced reports whether at least one exchange completed.
+func (c *SimClient) Synced() bool { return c.synced }
+
+// Offset returns the latest (host − guest) clock offset estimate.
+func (c *SimClient) Offset() sim.Time { return c.lastOffset }
+
+// Now returns the corrected time: the guest clock plus the estimated
+// offset — the external time reference the paper measured with.
+func (c *SimClient) Now() sim.Time { return c.guest.GuestNow() + c.lastOffset }

@@ -1,0 +1,99 @@
+// Package trace records labelled simulator events for debugging and for
+// the experiment harness's visibility into scheduler behaviour: which
+// events fired, how often, and when. The recorder attaches to the sim
+// kernel's tracer hook and costs nothing when detached.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vmdg/internal/sim"
+)
+
+// Event is one recorded firing.
+type Event struct {
+	At    sim.Time
+	Label string
+}
+
+// Recorder accumulates events up to a bound (a ring: the newest events
+// win once the bound is hit, since recent history is what debugging
+// needs).
+type Recorder struct {
+	max    int
+	events []Event
+	start  int // ring start index once saturated
+	total  uint64
+	counts map[string]uint64
+}
+
+// Attach installs a recorder on s keeping at most max events (0 means an
+// unbounded log — use only in tests).
+func Attach(s *sim.Simulator, max int) *Recorder {
+	r := &Recorder{max: max, counts: map[string]uint64{}}
+	s.SetTracer(r.record)
+	return r
+}
+
+func (r *Recorder) record(at sim.Time, label string) {
+	r.total++
+	r.counts[label]++
+	if r.max > 0 && len(r.events) == r.max {
+		r.events[r.start] = Event{At: at, Label: label}
+		r.start = (r.start + 1) % r.max
+		return
+	}
+	r.events = append(r.events, Event{At: at, Label: label})
+}
+
+// Total returns how many events were observed (including evicted ones).
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Count returns how many events carried the given label.
+func (r *Recorder) Count(label string) uint64 { return r.counts[label] }
+
+// Events returns the retained events in firing order.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, 0, len(r.events))
+	for i := 0; i < len(r.events); i++ {
+		out = append(out, r.events[(r.start+i)%len(r.events)])
+	}
+	return out
+}
+
+// Between filters retained events to the half-open interval [from, to).
+func (r *Recorder) Between(from, to sim.Time) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.At >= from && e.At < to {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Summary renders a per-label frequency table, most frequent first.
+func (r *Recorder) Summary() string {
+	type row struct {
+		label string
+		n     uint64
+	}
+	rows := make([]row, 0, len(r.counts))
+	for l, n := range r.counts {
+		rows = append(rows, row{l, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].label < rows[j].label
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d events, %d labels\n", r.total, len(rows))
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%10d  %s\n", row.n, row.label)
+	}
+	return b.String()
+}

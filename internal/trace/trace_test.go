@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"vmdg/internal/cost"
+	"vmdg/internal/hostos"
+	"vmdg/internal/hw"
+	"vmdg/internal/sim"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	s := sim.New()
+	r := Attach(s, 0)
+	s.At(1, "a", func() {})
+	s.At(2, "b", func() {})
+	s.At(3, "a", func() {})
+	s.Run()
+	if r.Total() != 3 || r.Count("a") != 2 || r.Count("b") != 1 {
+		t.Fatalf("counts: total=%d a=%d b=%d", r.Total(), r.Count("a"), r.Count("b"))
+	}
+	ev := r.Events()
+	if len(ev) != 3 || ev[0].Label != "a" || ev[1].Label != "b" {
+		t.Fatalf("events = %v", ev)
+	}
+	if got := r.Between(2, 3); len(got) != 1 || got[0].Label != "b" {
+		t.Fatalf("Between = %v", got)
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	s := sim.New()
+	r := Attach(s, 4)
+	for i := sim.Time(1); i <= 10; i++ {
+		s.At(i, "e", func() {})
+	}
+	s.Run()
+	if r.Total() != 10 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d, want 4", len(ev))
+	}
+	// The newest four events, in order.
+	for i, e := range ev {
+		if want := sim.Time(7 + i); e.At != want {
+			t.Fatalf("event %d at %v, want %v", i, e.At, want)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := sim.New()
+	r := Attach(s, 0)
+	for i := 0; i < 5; i++ {
+		s.At(sim.Time(i+1), "frequent", func() {})
+	}
+	s.At(100, "rare", func() {})
+	s.Run()
+	out := r.Summary()
+	if !strings.Contains(out, "frequent") || !strings.Contains(out, "rare") {
+		t.Fatalf("summary:\n%s", out)
+	}
+	if strings.Index(out, "frequent") > strings.Index(out, "rare") {
+		t.Fatal("summary not sorted by frequency")
+	}
+}
+
+func TestRecorderObservesScheduler(t *testing.T) {
+	s := sim.New()
+	m, err := hw.NewMachine(s, hw.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Attach(s, 1024)
+	o := hostos.Boot(m)
+	p := o.NewProcess("w")
+	for i := 0; i < 3; i++ {
+		prof := &cost.Profile{Name: "w", Steps: []cost.Step{
+			{Kind: cost.StepCompute, Cycles: 3e8, Mix: cost.Mix{Int: 1}},
+		}}
+		o.Spawn(p, "w", hostos.PrioNormal, prof.Iter())
+	}
+	s.Run()
+	if r.Count("quantum") == 0 {
+		t.Fatal("no quantum expiries traced for a 3-on-2 contended run")
+	}
+	if r.Count("step-done") == 0 {
+		t.Fatal("no step completions traced")
+	}
+}

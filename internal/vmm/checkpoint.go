@@ -1,0 +1,79 @@
+package vmm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"vmdg/internal/sim"
+)
+
+// Checkpoint is the transportable persistent state of a VM: what survives
+// a save/restore or a migration to another physical machine. Like a real
+// system-level snapshot taken at a quiescent point, it captures durable
+// state — the copy-on-write overlay of the disk image plus an opaque
+// workload payload (e.g. a BOINC client's work-unit progress file) — and
+// the guest clock.
+type Checkpoint struct {
+	VMName       string
+	ProfileName  string
+	TakenAtHost  sim.Time
+	TakenAtGuest sim.Time
+	OverlayTable [][2]int64
+	OverlayBytes int64
+	Payload      []byte
+}
+
+// Checkpoint captures the VM's durable state. payload carries
+// workload-level progress the caller wants to travel with the VM.
+func (vm *VM) Checkpoint(payload []byte) *Checkpoint {
+	ck := &Checkpoint{
+		VMName:       vm.Name,
+		ProfileName:  vm.Prof.Name,
+		TakenAtHost:  vm.hostOS.Sim.Now(),
+		TakenAtGuest: vm.GuestNow(),
+		Payload:      append([]byte(nil), payload...),
+	}
+	if cow, ok := vm.Image.(*COWImage); ok {
+		ck.OverlayTable = cow.OverlayTable()
+		ck.OverlayBytes = cow.OverlayBytes()
+	}
+	return ck
+}
+
+// Encode serializes the checkpoint for transport to another machine.
+func (ck *Checkpoint) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+		return nil, fmt.Errorf("vmm: encoding checkpoint of %s: %w", ck.VMName, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCheckpoint reverses Encode.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	var ck Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("vmm: decoding checkpoint: %w", err)
+	}
+	return &ck, nil
+}
+
+// Restore applies a checkpoint to a freshly constructed (not yet powered)
+// VM on any host: the overlay table is reinstated over the VM's base
+// image. The caller resumes the workload from ck.Payload. It errors if the
+// VM's image is not a COW overlay or profiles mismatch.
+func (vm *VM) Restore(ck *Checkpoint) error {
+	if vm.vcpu != nil {
+		return fmt.Errorf("vmm: restore into powered-on VM %s", vm.Name)
+	}
+	if vm.Prof.Name != ck.ProfileName {
+		return fmt.Errorf("vmm: checkpoint from profile %s restored into %s", ck.ProfileName, vm.Prof.Name)
+	}
+	cow, ok := vm.Image.(*COWImage)
+	if !ok {
+		return fmt.Errorf("vmm: restore requires a COW image, VM %s has %T", vm.Name, vm.Image)
+	}
+	cow.RestoreOverlayTable(ck.OverlayTable)
+	return nil
+}

@@ -1,0 +1,92 @@
+package vmm
+
+import (
+	"fmt"
+
+	"vmdg/internal/hw"
+	"vmdg/internal/sim"
+)
+
+// VirtualDisk implements guestos.BlockDevice by emulating a disk
+// controller: guest commands are split into profile-bounded chunks, each
+// chunk pays the profile's per-command latency and emulation CPU, is
+// translated through the disk image, and finally lands on the host disk.
+// Chunks of one command are serviced strictly in order, as a single
+// emulated IDE/SCSI command queue would.
+type VirtualDisk struct {
+	vm    *VM
+	image Image
+	disk  *hw.Disk
+	s     *sim.Simulator
+
+	// Stats
+	Commands uint64
+	Chunks   uint64
+}
+
+func newVirtualDisk(vm *VM, image Image, disk *hw.Disk) *VirtualDisk {
+	return &VirtualDisk{vm: vm, image: image, disk: disk, s: vm.hostOS.Sim}
+}
+
+// chunks splits a guest request per the profile's DiskChunk limit.
+func (d *VirtualDisk) chunks(off, bytes int64) [][2]int64 {
+	limit := d.vm.Prof.DiskChunk
+	if limit <= 0 {
+		return [][2]int64{{off, bytes}}
+	}
+	var out [][2]int64
+	for bytes > 0 {
+		n := bytes
+		if n > limit {
+			n = limit
+		}
+		out = append(out, [2]int64{off, n})
+		off += n
+		bytes -= n
+	}
+	return out
+}
+
+// ReadBlocks implements guestos.BlockDevice.
+func (d *VirtualDisk) ReadBlocks(off, bytes int64, done func()) {
+	d.submit(off, bytes, false, done)
+}
+
+// WriteBlocks implements guestos.BlockDevice.
+func (d *VirtualDisk) WriteBlocks(off, bytes int64, done func()) {
+	d.submit(off, bytes, true, done)
+}
+
+func (d *VirtualDisk) submit(off, bytes int64, write bool, done func()) {
+	if bytes <= 0 {
+		panic(fmt.Sprintf("vmm: virtual disk request of %d bytes", bytes))
+	}
+	d.Commands++
+	chunks := d.chunks(off, bytes)
+	d.Chunks += uint64(len(chunks))
+
+	// Service chunks sequentially; each pays emulation latency + CPU, then
+	// the image translation, then the physical transfer.
+	var runChunk func(i int)
+	runChunk = func(i int) {
+		if i == len(chunks) {
+			done()
+			return
+		}
+		c := chunks[i]
+		d.vm.chargeEmulation(d.vm.Prof.DiskCPUPerOp + d.image.TranslateCost())
+		extents := d.image.Translate(c[0], c[1], write)
+		d.s.After(d.vm.Prof.DiskPerOp, "vdisk-emu", func() {
+			remaining := len(extents)
+			for _, e := range extents {
+				d.disk.Submit(e.FileID, e.HostOff, e.Bytes, write, func() {
+					remaining--
+					if remaining == 0 {
+						runChunk(i + 1)
+					}
+				})
+			}
+		})
+	}
+	runChunk(0)
+}

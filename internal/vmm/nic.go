@@ -1,0 +1,107 @@
+package vmm
+
+import (
+	"vmdg/internal/hw"
+	"vmdg/internal/sim"
+)
+
+// serviceQueue is a single-server FIFO queue with caller-supplied service
+// times — the shape of both a device-emulation path and a userspace NAT
+// proxy. A non-zero capacity bounds the number of items awaiting service
+// (a proxy's socket buffer); arrivals beyond it are dropped.
+type serviceQueue struct {
+	s         *sim.Simulator
+	busyUntil sim.Time
+	cap       int // 0 = unbounded
+	queued    int
+	Served    uint64
+	Dropped   uint64
+}
+
+// enqueue schedules fn to run once the server has processed this item,
+// service time d, FIFO behind earlier items. It reports false (and drops
+// the item) when the queue is full.
+func (q *serviceQueue) enqueue(d sim.Time, fn func()) bool {
+	if q.cap > 0 && q.queued >= q.cap {
+		q.Dropped++
+		return false
+	}
+	start := q.s.Now()
+	if q.busyUntil > start {
+		start = q.busyUntil
+	}
+	q.busyUntil = start + d
+	q.Served++
+	q.queued++
+	q.s.At(q.busyUntil, "svcq", func() {
+		q.queued--
+		fn()
+	})
+	return true
+}
+
+// VirtualNIC implements guestos.NetDevice. In bridged mode each direction
+// has its own emulation queue in front of the physical link; in NAT mode
+// both directions share one proxy queue — the single-server bottleneck
+// that collapses NAT throughput in Figure 4.
+type VirtualNIC struct {
+	vm *VM
+	tx *hw.Link // guest -> LAN
+	rx *hw.Link // LAN -> guest
+
+	txq, rxq *serviceQueue
+	natq     *serviceQueue // shared, NAT mode only
+
+	// Stats
+	FramesOut, FramesIn uint64
+}
+
+func newVirtualNIC(vm *VM, tx, rx *hw.Link) *VirtualNIC {
+	s := vm.hostOS.Sim
+	n := &VirtualNIC{vm: vm, tx: tx, rx: rx}
+	if vm.Prof.NetMode == NetNAT {
+		n.natq = &serviceQueue{s: s, cap: vm.Prof.natQueueFrames()}
+		n.txq, n.rxq = n.natq, n.natq
+	} else {
+		n.txq = &serviceQueue{s: s}
+		n.rxq = &serviceQueue{s: s}
+	}
+	return n
+}
+
+// serviceTime is the emulation/proxy cost for one frame.
+func (n *VirtualNIC) serviceTime(ipBytes int64) sim.Time {
+	p := n.vm.Prof
+	return p.NetPerFrame + sim.Time(int64(p.NetPerByte)*ipBytes)
+}
+
+// SendSegment implements guestos.NetDevice: device path, then the wire.
+// Frames the proxy queue cannot hold are dropped, as a real NAT's socket
+// buffer does under UDP overload.
+func (n *VirtualNIC) SendSegment(ipBytes int64, deliverToPeer func()) {
+	n.FramesOut++
+	n.vm.chargeEmulation(n.vm.Prof.NetCPUPerFrame)
+	n.txq.enqueue(n.serviceTime(ipBytes), func() {
+		n.tx.Transmit(ipBytes, deliverToPeer)
+	})
+}
+
+// Drops reports frames lost to a full proxy queue.
+func (n *VirtualNIC) Drops() uint64 {
+	var d uint64
+	d += n.txq.Dropped
+	if n.rxq != n.txq {
+		d += n.rxq.Dropped
+	}
+	return d
+}
+
+// ReturnSegment implements guestos.NetDevice: the wire, then the device
+// path back up into the guest.
+func (n *VirtualNIC) ReturnSegment(ipBytes int64, deliverToGuest func()) {
+	n.rx.Transmit(ipBytes, func() {
+		n.FramesIn++
+		n.vm.chargeEmulation(n.vm.Prof.NetCPUPerFrame)
+		n.rxq.enqueue(n.serviceTime(ipBytes), deliverToGuest)
+	})
+}

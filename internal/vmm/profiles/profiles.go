@@ -1,0 +1,153 @@
+// Package profiles holds the calibrated cost models of the four virtual
+// machine environments evaluated in the paper (§3): VMware Player 2.0.2,
+// QEMU 0.9 + KQEMU 1.3, VirtualBox 1.6.2 OSE, and Microsoft VirtualPC 2007.
+//
+// Calibration philosophy: each parameter encodes a *mechanism* reported in
+// the paper or its citations, and the magnitudes are fitted so that the
+// simulated Figures 1–8 land on the published values. The per-environment
+// character is:
+//
+//   - VmPlayer: mature binary translation — near-native user code, the best
+//     disk and network paths, but the heaviest host-side service footprint
+//     (its speed is bought with host CPU; §4.2.3 measures it at ≈3× the
+//     other environments' intrusiveness).
+//   - QEMU(+kqemu): dynamic translation with a software-leaning device
+//     model — the slowest CPU and disk paths (≈2× CPU, ≈5× disk) but a
+//     respectable network path (§4.1).
+//   - VirtualBox 1.6: young binary translator with QEMU-derived devices —
+//     mid-pack CPU, ≈2× disk, and a notoriously slow userspace NAT
+//     (≈75× below native, §4.1).
+//   - VirtualPC: full virtualization with no Linux guest additions —
+//     the largest trap costs among the translators, ≈2× disk, mid network.
+//
+// All four commit 300 MB of guest RAM at power-on (§4).
+package profiles
+
+import (
+	"vmdg/internal/cost"
+	"vmdg/internal/sim"
+	"vmdg/internal/vmm"
+)
+
+// GuestRAM is the configured virtual machine memory (§4).
+const GuestRAM = 300 << 20
+
+// svcPeriod is the duty-cycle period of host-side VMM service work.
+const svcPeriod = 20 * sim.Millisecond
+
+// svcMix: VMM kernel components are branchy integer code with modest
+// memory traffic, so they steal time (Fig. 7) without saturating the
+// shared bus (keeping Fig. 5 overheads small).
+var svcMix = cost.Mix{Int: 0.9, Mem: 0.1}
+
+// Native is the bare-hardware baseline ("native Ubuntu", the unit line of
+// Figures 1–3 and the 97.60 Mbps of Figure 4).
+func Native() vmm.Profile { return vmm.Native() }
+
+// VMwarePlayer models VMware Player 2.0.2 with bridged networking (the
+// configuration of Figures 1–3 and the 96.02 Mbps bar of Figure 4).
+func VMwarePlayer() vmm.Profile {
+	return vmm.Profile{
+		Name:      "vmplayer",
+		IntExpand: 1.08, FPExpand: 1.02, MemExpand: 1.18, KernelExpand: 3.0,
+
+		DiskPerOp: 600 * sim.Microsecond, DiskChunk: 2 << 20, DiskCPUPerOp: 150e3,
+
+		NetMode:     vmm.NetBridged,
+		NetPerFrame: 60 * sim.Microsecond, NetCPUPerFrame: 8e3,
+
+		ServiceDuty: 0.68, ServicePeriod: svcPeriod, ServiceMix: svcMix,
+		TickLoss: 0.80,
+		RAMBytes: GuestRAM,
+	}
+}
+
+// VMwarePlayerNAT is VMware Player with NAT networking: the same engine,
+// but every frame crosses the userspace NAT proxy (3.68 Mbps in Figure 4).
+func VMwarePlayerNAT() vmm.Profile {
+	p := VMwarePlayer()
+	p.Name = "vmplayer-nat"
+	p.NetMode = vmm.NetNAT
+	p.NetPerFrame = 600 * sim.Microsecond
+	p.NetPerByte = 1500 * sim.Nanosecond
+	p.NetCPUPerFrame = 40e3
+	return p
+}
+
+// QEMU models QEMU 0.9 with the KQEMU 1.3 accelerator: user code is
+// dynamically translated (≈2× integer), floating point mostly rides the
+// host FPU (Figure 2's modest 1.3×), and the emulated IDE path is the
+// slowest of the set (Figure 3's ≈4.9×). Its network path is
+// surprisingly competitive (Figure 4's 65.91 Mbps).
+func QEMU() vmm.Profile {
+	return vmm.Profile{
+		Name:      "qemu",
+		IntExpand: 3.20, FPExpand: 1.10, MemExpand: 1.10, KernelExpand: 6.0,
+
+		DiskPerOp: 5900 * sim.Microsecond, DiskChunk: 128 << 10, DiskCPUPerOp: 500e3,
+
+		NetMode:     vmm.NetBridged,
+		NetPerFrame: 178 * sim.Microsecond, NetCPUPerFrame: 25e3,
+
+		ServiceDuty: 0.17, ServicePeriod: svcPeriod, ServiceMix: svcMix,
+		TickLoss: 0.90,
+		RAMBytes: GuestRAM,
+	}
+}
+
+// VirtualBox models VirtualBox 1.6.2 OSE with its default NAT networking
+// (the ≈75×-slower bar of Figure 4). CPU is binary-translated, devices
+// derive from QEMU's.
+func VirtualBox() vmm.Profile {
+	return vmm.Profile{
+		Name:      "virtualbox",
+		IntExpand: 1.12, FPExpand: 1.04, MemExpand: 1.26, KernelExpand: 3.6,
+
+		DiskPerOp: 1700 * sim.Microsecond, DiskChunk: 512 << 10, DiskCPUPerOp: 300e3,
+
+		NetMode:     vmm.NetNAT,
+		NetPerFrame: 1900 * sim.Microsecond, NetPerByte: 4 * sim.Microsecond,
+		NetCPUPerFrame: 60e3,
+
+		ServiceDuty: 0.15, ServicePeriod: svcPeriod, ServiceMix: svcMix,
+		TickLoss: 0.75,
+		RAMBytes: GuestRAM,
+	}
+}
+
+// VirtualPC models Microsoft VirtualPC 2007 running an unsupported Linux
+// guest (no guest additions, §3.4): the largest translator overheads and a
+// mid-pack device model.
+func VirtualPC() vmm.Profile {
+	return vmm.Profile{
+		Name:      "virtualpc",
+		IntExpand: 1.25, FPExpand: 1.08, MemExpand: 1.45, KernelExpand: 5.0,
+
+		DiskPerOp: 1700 * sim.Microsecond, DiskChunk: 512 << 10, DiskCPUPerOp: 300e3,
+
+		NetMode:     vmm.NetBridged,
+		NetPerFrame: 330 * sim.Microsecond, NetCPUPerFrame: 30e3,
+
+		ServiceDuty: 0.15, ServicePeriod: svcPeriod, ServiceMix: svcMix,
+		TickLoss: 0.75,
+		RAMBytes: GuestRAM,
+	}
+}
+
+// All returns the four virtualized environments in the paper's
+// presentation order. Network experiments additionally use
+// VMwarePlayerNAT and Native.
+func All() []vmm.Profile {
+	return []vmm.Profile{VMwarePlayer(), QEMU(), VirtualBox(), VirtualPC()}
+}
+
+// ByName resolves a profile by its Name field (including "native" and
+// "vmplayer-nat"); it returns false for unknown names.
+func ByName(name string) (vmm.Profile, bool) {
+	for _, p := range append(All(), VMwarePlayerNAT(), Native()) {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return vmm.Profile{}, false
+}

@@ -1,0 +1,127 @@
+package profiles
+
+import (
+	"testing"
+
+	"vmdg/internal/cost"
+	"vmdg/internal/vmm"
+)
+
+func TestAllProfilesValidate(t *testing.T) {
+	for _, p := range append(All(), VMwarePlayerNAT(), Native()) {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestAllReturnsPaperOrder(t *testing.T) {
+	got := All()
+	want := []string{"vmplayer", "qemu", "virtualbox", "virtualpc"}
+	if len(got) != len(want) {
+		t.Fatalf("%d profiles", len(got))
+	}
+	for i, p := range got {
+		if p.Name != want[i] {
+			t.Errorf("profile %d = %s, want %s", i, p.Name, want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"vmplayer", "vmplayer-nat", "qemu", "virtualbox", "virtualpc", "native"} {
+		p, ok := ByName(name)
+		if !ok || p.Name != name {
+			t.Errorf("ByName(%q) = %v,%v", name, p.Name, ok)
+		}
+	}
+	if _, ok := ByName("xen"); ok {
+		t.Error("ByName accepted an unknown environment")
+	}
+}
+
+func TestGuestRAMMatchesPaper(t *testing.T) {
+	for _, p := range All() {
+		if p.RAMBytes != 300<<20 {
+			t.Errorf("%s commits %d bytes, paper configures 300 MB", p.Name, p.RAMBytes)
+		}
+	}
+	if Native().RAMBytes != 0 {
+		t.Error("native baseline should not reserve guest RAM")
+	}
+}
+
+// sevenzMix approximates the captured 7z benchmark mix (§ calibration).
+var sevenzMix = cost.Mix{Int: 0.5, Mem: 0.5}
+
+// matrixMix approximates the captured Matrix mix.
+var matrixMix = cost.Mix{Int: 0.083, FP: 0.667, Mem: 0.25}
+
+func TestExpansionOrderingMatchesFigure1(t *testing.T) {
+	// vmplayer < virtualbox < virtualpc < qemu on the integer benchmark.
+	f := func(p vmm.Profile) float64 { return p.ExpandFactor(sevenzMix) }
+	if !(f(VMwarePlayer()) < f(VirtualBox()) && f(VirtualBox()) < f(VirtualPC()) && f(VirtualPC()) < f(QEMU())) {
+		t.Errorf("fig1 expansion ordering broken: %v %v %v %v",
+			f(VMwarePlayer()), f(VirtualBox()), f(VirtualPC()), f(QEMU()))
+	}
+}
+
+func TestFPMilderThanIntForEveryEnvironment(t *testing.T) {
+	for _, p := range All() {
+		if p.ExpandFactor(matrixMix) >= p.ExpandFactor(sevenzMix) {
+			t.Errorf("%s: FP-heavy work not milder than int-heavy", p.Name)
+		}
+	}
+}
+
+func TestVMwareIsFastestGuestAndMostIntrusiveHost(t *testing.T) {
+	// The paper's headline inverse relation, at the parameter level.
+	vmp := VMwarePlayer()
+	for _, other := range []vmm.Profile{QEMU(), VirtualBox(), VirtualPC()} {
+		if vmp.ExpandFactor(sevenzMix) >= other.ExpandFactor(sevenzMix) {
+			t.Errorf("vmplayer not fastest vs %s", other.Name)
+		}
+		if vmp.ServiceDuty <= 2.5*other.ServiceDuty {
+			t.Errorf("vmplayer service duty %.2f not ≫ %s's %.2f (paper: ≈3×)",
+				vmp.ServiceDuty, other.Name, other.ServiceDuty)
+		}
+	}
+}
+
+func TestNATModesMatchPaperSetups(t *testing.T) {
+	if VMwarePlayer().NetMode != vmm.NetBridged {
+		t.Error("vmplayer default should be bridged (Figure 4's 96 Mbps bar)")
+	}
+	if VMwarePlayerNAT().NetMode != vmm.NetNAT {
+		t.Error("vmplayer-nat should be NAT")
+	}
+	if VirtualBox().NetMode != vmm.NetNAT {
+		t.Error("virtualbox 1.6 measured through its default NAT")
+	}
+	if QEMU().NetMode != vmm.NetBridged || VirtualPC().NetMode != vmm.NetBridged {
+		t.Error("qemu/virtualpc modelled as bridged")
+	}
+}
+
+func TestQEMUHasSlowestDiskPath(t *testing.T) {
+	q := QEMU()
+	for _, other := range []vmm.Profile{VMwarePlayer(), VirtualBox(), VirtualPC()} {
+		if q.DiskPerOp <= other.DiskPerOp {
+			t.Errorf("qemu DiskPerOp %v not above %s's %v", q.DiskPerOp, other.Name, other.DiskPerOp)
+		}
+		if q.DiskChunk >= other.DiskChunk {
+			t.Errorf("qemu DiskChunk %d not below %s's %d", q.DiskChunk, other.Name, other.DiskChunk)
+		}
+	}
+}
+
+func TestTickLossEnablesDriftEverywhere(t *testing.T) {
+	for _, p := range All() {
+		if p.TickLoss <= 0 {
+			t.Errorf("%s has no clock drift; §4's timing warning would not reproduce", p.Name)
+		}
+	}
+	if Native().TickLoss != 0 {
+		t.Error("native clock must be exact")
+	}
+}
