@@ -1,6 +1,7 @@
 package vmdg
 
 import (
+	"runtime"
 	"testing"
 
 	"vmdg/internal/bench/nbench"
@@ -8,6 +9,7 @@ import (
 	"vmdg/internal/boinc"
 	"vmdg/internal/core"
 	"vmdg/internal/cost"
+	"vmdg/internal/engine"
 	"vmdg/internal/hostos"
 	"vmdg/internal/hw"
 	"vmdg/internal/sim"
@@ -260,6 +262,49 @@ func BenchmarkAblationUDPLoss(b *testing.B) {
 	}
 	for _, r := range results {
 		b.ReportMetric(r.DeliveredMbps, r.Env+"-Mbps")
+	}
+}
+
+// ---- experiment engine (internal/engine) ----
+
+// engineFigures runs every figure experiment through the engine with the
+// given worker count and a fresh cache, reporting shard throughput.
+func engineFigures(b *testing.B, workers int) {
+	b.Helper()
+	cfg := core.Config{Seed: 1, Reps: 2, Quick: true}
+	exps := engine.Default.ByKind(engine.KindFigure)
+	for i := 0; i < b.N; i++ {
+		r := engine.Runner{Workers: workers, Cache: engine.NewMemCache()}
+		if _, _, err := r.Run(cfg, exps); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(engine.TotalShards(cfg, exps)), "shards")
+}
+
+// BenchmarkEngineFiguresSerial measures the figure set on one worker —
+// the baseline for the parallel speedup.
+func BenchmarkEngineFiguresSerial(b *testing.B) { engineFigures(b, 1) }
+
+// BenchmarkEngineFiguresParallel measures the same set with one worker
+// per core; the ratio to the serial benchmark is the engine's speedup on
+// this host.
+func BenchmarkEngineFiguresParallel(b *testing.B) { engineFigures(b, runtime.NumCPU()) }
+
+// BenchmarkEngineFiguresCached measures a warm-cache pass: every shard
+// is served from the cache and only the merges run.
+func BenchmarkEngineFiguresCached(b *testing.B) {
+	cfg := core.Config{Seed: 1, Reps: 2, Quick: true}
+	exps := engine.Default.ByKind(engine.KindFigure)
+	r := engine.Runner{Workers: runtime.NumCPU(), Cache: engine.NewMemCache()}
+	if _, _, err := r.Run(cfg, exps); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.Run(cfg, exps); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,128 +1,65 @@
-// Command dgrid simulates the paper's motivating scenario end to end: a
-// desktop grid of volunteer machines, each donating cycles to an
-// Einstein@home-style project through a sandboxed virtual machine, while
-// their owners keep using them interactively.
+// Command dgrid is the reproduction's experiment driver: a subcommand
+// CLI over the parallel experiment engine (internal/engine) plus the
+// original desktop-grid fleet simulation.
 //
-// For each environment it reports the science throughput (work units
-// completed) and the intrusiveness the volunteer experiences (the latency
-// stretch of periodic interactive tasks versus an idle machine) — the two
-// quantities the paper argues a VM-based desktop grid must balance.
+//	dgrid list                      # catalog of registered experiments
+//	dgrid run all                   # every experiment, ASCII + paper bands
+//	dgrid run fig4 -workers 8       # one figure across 8 workers
+//	dgrid run fig1,fig3 -csv        # machine-readable output
+//	dgrid run all -out artifacts/   # also write per-experiment JSON/CSV
+//	dgrid report -o EXPERIMENTS.md  # paper-vs-measured markdown artifact
+//	dgrid fleet -machines 8         # volunteer-fleet scenario simulation
 //
-// Usage:
-//
-//	dgrid -machines 8 -minutes 10
-//	dgrid -env vmplayer -machines 4
+// Experiment runs are deterministic per seed and independent of the
+// worker count: `dgrid run all -workers 1` and `-workers 8` emit
+// bit-identical output. Completed shards are cached on disk (keyed by
+// experiment × seed × parameters), so repeated invocations skip work
+// already done; -cache off disables this.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
-
-	"vmdg/internal/boinc"
-	"vmdg/internal/cost"
-	"vmdg/internal/hostos"
-	"vmdg/internal/hw"
-	"vmdg/internal/sim"
-	"vmdg/internal/stats"
-	"vmdg/internal/vmm"
-	"vmdg/internal/vmm/profiles"
 )
 
 func main() {
-	var (
-		machines = flag.Int("machines", 4, "volunteer machines per environment")
-		minutes  = flag.Int("minutes", 5, "virtual minutes to simulate")
-		env      = flag.String("env", "", "single environment (default: all four)")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-	)
-	flag.Parse()
-
-	envs := profiles.All()
-	if *env != "" {
-		p, ok := profiles.ByName(*env)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "dgrid: unknown environment %q\n", *env)
-			os.Exit(1)
-		}
-		envs = []vmm.Profile{p}
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
 	}
-
-	fmt.Printf("desktop grid: %d machines × %d virtual minutes per environment\n\n",
-		*machines, *minutes)
-	fmt.Printf("%-12s %14s %18s %18s\n", "environment", "work units", "interactive p50", "interactive p95")
-	for _, prof := range envs {
-		units, p50, p95, err := simulateFleet(prof, *machines, *minutes, *seed)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dgrid:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("%-12s %14d %17.1fms %17.1fms\n", prof.Name, units, p50, p95)
+	var err error
+	switch cmd := os.Args[1]; cmd {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "list":
+		err = cmdList(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "fleet":
+		err = cmdFleet(os.Args[2:])
+	case "help", "-h", "-help", "--help":
+		usage(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "dgrid: unknown command %q\n\n", cmd)
+		usage(os.Stderr)
+		os.Exit(2)
 	}
-	// Baseline: the same interactive load on a machine with no VM.
-	_, p50, p95, err := simulateFleet(vmm.Profile{}, 1, *minutes, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dgrid:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("%-12s %14s %17.1fms %17.1fms\n", "no-vm", "-", p50, p95)
 }
 
-// interactiveBurst is one interactive task: 40 ms of mixed compute,
-// issued once per second — an editor keystroke storm, a page render.
-const interactiveBurst = 0.040 * 2.4e9
+func usage(w *os.File) {
+	fmt.Fprint(w, `usage: dgrid <command> [flags]
 
-// simulateFleet runs the fleet for the given duration and aggregates
-// results. An empty profile (Name == "") simulates volunteers without VMs
-// for the baseline.
-func simulateFleet(prof vmm.Profile, machines, minutes int, seed uint64) (units int, p50, p95 float64, err error) {
-	lat := &stats.Sample{}
-	for m := 0; m < machines; m++ {
-		s := sim.New()
-		mc, err := hw.NewMachine(s, hw.Config{Seed: seed + uint64(m)})
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		host := hostos.Boot(mc)
+commands:
+  list             list every registered experiment
+  run <names|all>  run experiments (comma-separated names) on a worker pool
+  report           regenerate the paper-vs-measured EXPERIMENTS.md tables
+  fleet            simulate the volunteer desktop-grid scenario
+  help             show this message
 
-		var worker *boinc.Worker
-		var vm *vmm.VM
-		if prof.Name != "" {
-			vm, err = vmm.New(host, vmm.Config{Prof: prof})
-			if err != nil {
-				return 0, 0, 0, err
-			}
-			wu := boinc.WorkUnit{ID: fmt.Sprintf("wu-%d", m), Seed: seed + uint64(m), Chunks: 800, CheckpointEvery: 100}
-			worker = boinc.NewWorker(boinc.Progress{WorkUnit: wu})
-			vm.SpawnGuest("einstein", worker)
-			vm.PowerOn(hostos.PrioIdle)
-		}
-
-		// The owner's interactive workload: one burst per second, with
-		// latency recorded per burst.
-		user := host.NewProcess("user")
-		var issue func()
-		issue = func() {
-			start := s.Now()
-			prog := &cost.Profile{Name: "burst", Steps: []cost.Step{
-				{Kind: cost.StepCompute, Cycles: interactiveBurst, Mix: cost.Mix{Int: 0.5, Mem: 0.3, FP: 0.2}},
-			}}
-			th := host.Spawn(user, "burst", hostos.PrioNormal, prog.Iter())
-			th.OnExit = func() {
-				lat.Add((s.Now() - start).Seconds() * 1000)
-			}
-			s.After(sim.Second, "user-think", issue)
-		}
-		s.After(100*sim.Millisecond, "user-start", issue)
-
-		host.RunFor(sim.Time(minutes) * 60 * sim.Second)
-		if worker != nil {
-			units += worker.UnitsDone()
-			vm.PowerOff()
-		}
-	}
-	if lat.N() == 0 {
-		return units, 0, 0, nil
-	}
-	return units, lat.Percentile(0.50), lat.Percentile(0.95), nil
+run 'dgrid <command> -h' for the command's flags
+`)
 }

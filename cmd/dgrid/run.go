@@ -1,0 +1,187 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vmdg/internal/core"
+	"vmdg/internal/engine"
+)
+
+// runFlags are the engine options shared by `dgrid run` and
+// `dgrid report`.
+type runFlags struct {
+	workers int
+	seed    uint64
+	reps    int
+	quick   bool
+	cache   string
+	verbose bool
+}
+
+func (f *runFlags) register(fs *flag.FlagSet) {
+	fs.IntVar(&f.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	fs.Uint64Var(&f.seed, "seed", 1, "experiment seed (runs are deterministic per seed)")
+	fs.IntVar(&f.reps, "reps", 3, "measurement repetitions per data point")
+	fs.BoolVar(&f.quick, "quick", false, "trim workload sizes (faster, noisier)")
+	fs.StringVar(&f.cache, "cache", "", "shard cache directory; 'off' disables (default: the user cache dir)")
+	fs.BoolVar(&f.verbose, "v", false, "log per-shard progress to stderr")
+}
+
+func (f *runFlags) config() core.Config {
+	return core.Config{Seed: f.seed, Reps: f.reps, Quick: f.quick}
+}
+
+// runner builds the pool from the flags. Progress and summary lines go
+// to stderr so stdout stays bit-identical across worker counts and
+// cache states.
+func (f *runFlags) runner() (*engine.Runner, error) {
+	r := &engine.Runner{Workers: f.workers}
+	switch f.cache {
+	case "off":
+	case "":
+		dir, err := engine.DefaultCacheDir()
+		if err != nil {
+			return nil, fmt.Errorf("resolving cache dir (use -cache DIR or -cache off): %w", err)
+		}
+		if r.Cache, err = engine.NewFileCache(dir); err != nil {
+			return nil, err
+		}
+	default:
+		var err error
+		if r.Cache, err = engine.NewFileCache(f.cache); err != nil {
+			return nil, err
+		}
+	}
+	if f.verbose {
+		r.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dgrid: "+format+"\n", args...)
+		}
+	}
+	return r, nil
+}
+
+func summarize(stats engine.Stats) {
+	fmt.Fprintf(os.Stderr, "dgrid: %d experiments, %d shards (%d cached, %d computed) in %s\n",
+		stats.Experiments, stats.Shards, stats.Hits, stats.Misses, stats.Elapsed.Round(stats.Elapsed/100+1))
+}
+
+// cmdRun executes experiments and prints their reports in registry
+// order.
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("dgrid run", flag.ExitOnError)
+	var rf runFlags
+	rf.register(fs)
+	csv := fs.Bool("csv", false, "emit CSV instead of ASCII charts")
+	out := fs.String("out", "", "also write per-experiment JSON and CSV artifacts to this directory")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dgrid run <names|all> [flags]\n\nnames is 'all' or a comma-separated experiment list (see 'dgrid list')")
+		fs.PrintDefaults()
+	}
+
+	// Accept the selection before or after the flags: `dgrid run fig1
+	// -workers 8` and `dgrid run -workers 8 fig1` both work.
+	names := ""
+	rest := args
+	if len(rest) > 0 && rest[0] != "" && rest[0][0] != '-' {
+		names, rest = rest[0], rest[1:]
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	switch {
+	case fs.NArg() == 0:
+	case fs.NArg() == 1 && names == "":
+		names = fs.Arg(0)
+	default:
+		return fmt.Errorf("unexpected arguments %v (give one selection, before or after the flags)", fs.Args())
+	}
+	if names == "" {
+		names = "all"
+	}
+
+	exps, err := engine.Default.Select(names)
+	if err != nil {
+		return err
+	}
+	runner, err := rf.runner()
+	if err != nil {
+		return err
+	}
+	outcomes, stats, err := runner.Run(rf.config(), exps)
+	if err != nil {
+		return err
+	}
+	engine.Emit(os.Stdout, outcomes, *csv)
+	if *out != "" {
+		if err := writeArtifacts(*out, outcomes); err != nil {
+			return err
+		}
+	}
+	summarize(stats)
+	return nil
+}
+
+// writeArtifacts stores each outcome as <dir>/<name>.json (the merged
+// payload) and, for experiments with tabular data, <dir>/<name>.csv.
+func writeArtifacts(dir string, outcomes []*engine.Outcome) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, o := range outcomes {
+		if err := os.WriteFile(filepath.Join(dir, o.Name+".json"), o.Raw, 0o644); err != nil {
+			return err
+		}
+		if c := o.CSV(); c != "" {
+			if err := os.WriteFile(filepath.Join(dir, o.Name+".csv"), []byte(c), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dgrid: wrote %d artifacts to %s\n", len(outcomes), dir)
+	return nil
+}
+
+// cmdList prints the experiment catalog.
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("dgrid list", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+	fmt.Printf("%-14s %-12s %7s  %s\n", "name", "kind", "shards", "title")
+	for _, e := range engine.Default.Experiments() {
+		fmt.Printf("%-14s %-12s %7d  %s\n", e.Name(), e.Kind(), e.Shards(cfg), e.Title())
+	}
+	return nil
+}
+
+// cmdReport regenerates the paper-vs-measured markdown artifact from
+// every registered experiment.
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("dgrid report", flag.ExitOnError)
+	var rf runFlags
+	rf.register(fs)
+	out := fs.String("o", "EXPERIMENTS.md", "output file ('-' for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	runner, err := rf.runner()
+	if err != nil {
+		return err
+	}
+	outcomes, stats, err := runner.Run(rf.config(), engine.Default.Experiments())
+	if err != nil {
+		return err
+	}
+	md := engine.ExperimentsMarkdown(rf.config(), outcomes)
+	if *out == "-" {
+		fmt.Print(md)
+	} else if err := os.WriteFile(*out, []byte(md), 0o644); err != nil {
+		return err
+	}
+	summarize(stats)
+	return nil
+}

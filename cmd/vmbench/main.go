@@ -1,15 +1,17 @@
 // Command vmbench regenerates the figures of "Evaluating the Performance
 // and Intrusiveness of Virtual Machines for Desktop Grid Computing"
 // (Domingues, Araujo & Silva, IPDPS 2009 workshops) on the vmdg simulated
-// testbed.
+// testbed. It is a thin front end over the parallel experiment engine
+// (internal/engine); `dgrid run` is the fuller subcommand interface.
 //
 // Usage:
 //
-//	vmbench                    # all figures, standard sizes
+//	vmbench                    # all figures + ablations, standard sizes
 //	vmbench -figure fig4       # one figure
 //	vmbench -quick -reps 2     # fast pass
 //	vmbench -csv               # machine-readable output
-//	vmbench -figure ablations  # timing/migration/memory ablations
+//	vmbench -figure ablations  # ablation/sensitivity/extension set only
+//	vmbench -workers 8         # size the worker pool explicitly
 package main
 
 import (
@@ -19,136 +21,43 @@ import (
 	"strings"
 
 	"vmdg/internal/core"
+	"vmdg/internal/engine"
 )
 
 func main() {
 	var (
-		figure = flag.String("figure", "all", "figure to regenerate: all, fig1..fig8, figFP, ablations")
-		seed   = flag.Uint64("seed", 1, "experiment seed (runs are deterministic per seed)")
-		reps   = flag.Int("reps", 3, "measurement repetitions per data point")
-		quick  = flag.Bool("quick", false, "trim workload sizes (faster, noisier)")
-		csv    = flag.Bool("csv", false, "emit CSV instead of ASCII charts")
+		figure  = flag.String("figure", "all", "what to regenerate: all, fig1..fig8, figFP, ablations, or any name from 'dgrid list'")
+		seed    = flag.Uint64("seed", 1, "experiment seed (runs are deterministic per seed)")
+		reps    = flag.Int("reps", 3, "measurement repetitions per data point")
+		quick   = flag.Bool("quick", false, "trim workload sizes (faster, noisier)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of ASCII charts")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	cfg := core.Config{Seed: *seed, Reps: *reps, Quick: *quick}
-	if err := run(cfg, strings.ToLower(*figure), *csv); err != nil {
+	if err := run(cfg, *figure, *csv, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "vmbench:", err)
 		os.Exit(1)
 	}
 }
 
-var figureFns = map[string]func(core.Config) (*core.Result, error){
-	"fig1": core.Figure1, "fig2": core.Figure2, "fig3": core.Figure3,
-	"fig4": core.Figure4, "fig5": core.Figure5, "fig6": core.Figure6,
-	"figfp": core.FigureFP, "fig7": core.Figure7, "fig8": core.Figure8,
-}
-
-func run(cfg core.Config, figure string, csv bool) error {
-	switch figure {
-	case "all":
-		results, err := core.AllFigures(cfg)
-		if err != nil {
-			return err
-		}
-		for _, r := range results {
-			emit(r, csv)
-		}
-		return runAblations(cfg)
+func run(cfg core.Config, figure string, csv bool, workers int) error {
+	var exps []engine.Experiment
+	switch strings.ToLower(figure) {
 	case "ablations":
-		return runAblations(cfg)
+		exps = engine.Default.ByKind(engine.KindAblation, engine.KindSensitivity, engine.KindExtension)
 	default:
-		fn, ok := figureFns[figure]
-		if !ok {
-			return fmt.Errorf("unknown figure %q (want all, fig1..fig8, figFP, ablations)", figure)
-		}
-		r, err := fn(cfg)
-		if err != nil {
+		var err error
+		if exps, err = engine.Default.Select(figure); err != nil {
 			return err
 		}
-		emit(r, csv)
-		return nil
 	}
-}
-
-func emit(r *core.Result, csv bool) {
-	if csv {
-		fmt.Printf("# %s\n%s", r.ID, r.Figure.CSV())
-		if r.Series != nil {
-			fmt.Printf("# %s series\n%s", r.ID, r.Series.CSV())
-		}
-		return
-	}
-	fmt.Println(r.Figure.Render())
-	if r.Series != nil {
-		fmt.Println(r.Series.Render())
-	}
-	if band, ok := core.PaperTargets[r.ID]; ok {
-		fmt.Println("paper comparison:")
-		for label, b := range band {
-			got := r.Values[label]
-			verdict := "OK"
-			if !b.In(got) {
-				verdict = "OUTSIDE BAND"
-			}
-			fmt.Printf("  %-16s paper %-8.4g measured %-8.4g band [%.4g, %.4g]  %s\n",
-				label, b.Paper, got, b.Lo, b.Hi, verdict)
-		}
-		fmt.Println()
-	}
-}
-
-func runAblations(cfg core.Config) error {
-	ts, err := core.TimesyncAblation(cfg)
+	runner := &engine.Runner{Workers: workers}
+	outcomes, _, err := runner.Run(cfg, exps)
 	if err != nil {
 		return err
 	}
-	fmt.Println("Ablation A1 — external UDP timing (§2 methodology)")
-	fmt.Printf("  work unit true duration : %8.3f s\n", ts.TrueSeconds)
-	fmt.Printf("  guest-clock measurement : %8.3f s (error %.1f%%)\n", ts.GuestSeconds, ts.GuestErr*100)
-	fmt.Printf("  UDP-corrected           : %8.3f s (error %.2f%%)\n\n", ts.CorrectedSeconds, ts.CorrectedErr*100)
-
-	mig, err := core.MigrationAblation(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Println("Ablation A3 — checkpoint and migration (§1)")
-	fmt.Printf("  chunks done on machine A: %d\n", mig.ChunksBeforeMigration)
-	fmt.Printf("  chunks restored on B    : %d\n", mig.ChunksAfterRestore)
-	fmt.Printf("  checkpoint blob         : %d bytes (overlay %d bytes)\n", mig.CheckpointBytes, mig.OverlayBytes)
-	fmt.Printf("  unit completed on B     : %v\n\n", mig.UnitCompleted)
-
-	mem, err := core.MemoryFootprint()
-	if err != nil {
-		return err
-	}
-	fmt.Println(mem.Figure.Render())
-
-	udp, err := core.UDPLossExperiment(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Println("Extension X1 — iperf -u: 10 Mbps UDP flood per network path")
-	for _, r := range udp {
-		fmt.Printf("  %-14s delivered %6.2f Mbps  loss %5.1f%%  drops %d\n",
-			r.Env, r.DeliveredMbps, r.LossFraction*100, r.Drops)
-	}
-	fmt.Println()
-
-	conf, err := core.ConfinementExperiment(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Println("Extension — VM core confinement (work-conservation negative result)")
-	fmt.Printf("  host 7z 2-thread availability: unpinned %.1f%%, pinned %.1f%%\n\n",
-		conf.UnpinnedPct, conf.PinnedPct)
-
-	multi, err := core.MultiVMExperiment(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Println("Extension A5 — one VM instance per core (shared base image)")
-	fmt.Printf("  work units: 1 VM = %d, 2 VMs = %d (scaling %.2fx)\n",
-		multi.UnitsOneVM, multi.UnitsTwoVMs, multi.Scaling)
+	engine.Emit(os.Stdout, outcomes, csv)
 	return nil
 }

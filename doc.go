@@ -8,8 +8,19 @@
 // implementations of every benchmark the paper runs (7z/LZMA-style codec,
 // matrix multiply, IOBench, iperf-style NetBench, the ten NBench/ByteMark
 // kernels, and an Einstein@home-style FFT worker under a BOINC-style
-// client). internal/core regenerates Figures 1–8; bench_test.go at this
-// level exposes one testing.B benchmark per figure.
+// client). internal/core defines the experiments that regenerate Figures
+// 1–8, each decomposed into independent deterministic shards.
 //
-// See README.md for a tour and EXPERIMENTS.md for paper-vs-measured data.
+// internal/engine layers a registry and a parallel runner on top: every
+// figure, ablation, and sensitivity experiment registers against an
+// Experiment interface, and a worker pool fans their shards out across
+// cores — each simulation stays single-threaded, results are
+// bit-identical for any worker count, and completed shards are cached by
+// content key so repeated invocations skip finished work. The `dgrid`
+// subcommand CLI (run/list/report/fleet) and `vmbench` drive the engine;
+// bench_test.go at this level exposes one testing.B benchmark per figure
+// plus engine throughput benchmarks.
+//
+// See README.md for a tour and EXPERIMENTS.md for the machine-generated
+// paper-vs-measured tables (`dgrid report` regenerates them).
 package vmdg

@@ -1,0 +1,3 @@
+module vmdg
+
+go 1.24

@@ -125,25 +125,3 @@ func guestRun(prof vmm.Profile, prog cost.Program, seed uint64, setup func(*vmm.
 	vm.PowerOff()
 	return done, nil
 }
-
-// AllFigures regenerates every figure in paper order.
-func AllFigures(cfg Config) ([]*Result, error) {
-	type gen struct {
-		name string
-		fn   func(Config) (*Result, error)
-	}
-	gens := []gen{
-		{"fig1", Figure1}, {"fig2", Figure2}, {"fig3", Figure3},
-		{"fig4", Figure4}, {"fig5", Figure5}, {"fig6", Figure6},
-		{"figFP", FigureFP}, {"fig7", Figure7}, {"fig8", Figure8},
-	}
-	var out []*Result
-	for _, g := range gens {
-		r, err := g.fn(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s: %w", g.name, err)
-		}
-		out = append(out, r)
-	}
-	return out, nil
-}

@@ -18,6 +18,10 @@ import (
 // host benchmark starts.
 const warmup = 200 * sim.Millisecond
 
+// hostPrios are the two VM priorities of Figures 5/6/FP, in presentation
+// order.
+var hostPrios = [...]hostos.Priority{hostos.PrioNormal, hostos.PrioIdle}
+
 // targetKernelCycles stretches each NBench kernel to a duration long
 // enough to average over scheduler and service-thread periods.
 func targetKernelCycles(cfg Config) float64 {
@@ -97,57 +101,83 @@ func nbenchIndexOverhead(cfg Config, idx nbench.Index, prof vmm.Profile, prio ho
 	return 1 - stats.GeoMean(ratios), nil
 }
 
-// nbenchFigure builds Figures 5/6/FP: per environment, the index overhead
-// with the VM at normal and at idle priority.
-func nbenchFigure(cfg Config, id, title string, idx nbench.Index) (*Result, error) {
+// nbenchShard measures one (environment, priority) cell of Figures
+// 5/6/FP: the index overhead with the VM at that priority, clamped at
+// zero (measurement noise below baseline).
+func nbenchShard(cfg Config, idx nbench.Index, shard int) (ShardPayload, error) {
+	prof := GuestEnvironments()[shard/len(hostPrios)]
+	prio := hostPrios[shard%len(hostPrios)]
+	ov, err := nbenchIndexOverhead(cfg, idx, prof, prio)
+	if err != nil {
+		return nil, err
+	}
+	if ov < 0 {
+		ov = 0
+	}
+	return ShardPayload{"overhead": {ov}}, nil
+}
+
+// nbenchAssemble builds Figures 5/6/FP from the (environment, priority)
+// grid: one bar per cell, and the per-environment headline (asserted
+// against the paper band) is the worse of the two priorities.
+func nbenchAssemble(id, title string, shards []ShardPayload) (*Result, error) {
 	fig := &report.Figure{Title: title, Unit: " overhead (fraction)"}
 	res := newResult(id, fig)
-	for _, prof := range GuestEnvironments() {
+	for e, prof := range GuestEnvironments() {
 		worst := 0.0
-		for _, prio := range []hostos.Priority{hostos.PrioNormal, hostos.PrioIdle} {
-			ov, err := nbenchIndexOverhead(cfg, idx, prof, prio)
+		for p, prio := range hostPrios {
+			ov, err := shards[e*len(hostPrios)+p].one("overhead")
 			if err != nil {
 				return nil, err
 			}
-			if ov < 0 {
-				ov = 0 // measurement noise below baseline
-			}
-			label := fmt.Sprintf("%s/%s", prof.Name, prio)
-			res.add(label, ov, 0)
+			res.add(fmt.Sprintf("%s/%s", prof.Name, prio), ov, 0)
 			if ov > worst {
 				worst = ov
 			}
 		}
-		// The per-environment headline (asserted against the paper band)
-		// is the worse of the two priorities.
 		res.Values[prof.Name] = worst
 	}
 	return res, nil
 }
 
-// Figure5 regenerates "Relative performance (MEM index)": host NBench
-// memory-index overhead while a guest runs Einstein@home at 100% vCPU.
-func Figure5(cfg Config) (*Result, error) {
-	return nbenchFigure(cfg, "fig5",
-		"Figure 5 — Host NBench MEM-index overhead with guest at 100% vCPU",
-		nbench.MemIndex)
+// nbenchDef builds the Sharded definition for one NBench index figure.
+func nbenchDef(id, title string, idx nbench.Index) Sharded {
+	return Sharded{
+		ID:     id,
+		Title:  title,
+		Shards: func(Config) int { return len(GuestEnvironments()) * len(hostPrios) },
+		Run: func(cfg Config, shard int) (ShardPayload, error) {
+			return nbenchShard(cfg, idx, shard)
+		},
+		Assemble: func(cfg Config, shards []ShardPayload) (*Result, error) {
+			return nbenchAssemble(id, title, shards)
+		},
+	}
 }
 
-// Figure6 regenerates "Relative performance (INT index)".
-func Figure6(cfg Config) (*Result, error) {
-	return nbenchFigure(cfg, "fig6",
+var (
+	fig5Def = nbenchDef("fig5",
+		"Figure 5 — Host NBench MEM-index overhead with guest at 100% vCPU",
+		nbench.MemIndex)
+	fig6Def = nbenchDef("fig6",
 		"Figure 6 — Host NBench INT-index overhead with guest at 100% vCPU",
 		nbench.IntIndex)
-}
+	figFPDef = nbenchDef("figFP",
+		"Figure 5b — Host NBench FP-index overhead (plot omitted in paper)",
+		nbench.FPIndex)
+)
+
+// Figure5 regenerates "Relative performance (MEM index)": host NBench
+// memory-index overhead while a guest runs Einstein@home at 100% vCPU.
+func Figure5(cfg Config) (*Result, error) { return fig5Def.RunSerial(cfg) }
+
+// Figure6 regenerates "Relative performance (INT index)".
+func Figure6(cfg Config) (*Result, error) { return fig6Def.RunSerial(cfg) }
 
 // FigureFP regenerates the FP-index companion the paper describes but
 // omits for space ("practically no overhead was observed regarding
 // floating point", §4.2.2).
-func FigureFP(cfg Config) (*Result, error) {
-	return nbenchFigure(cfg, "figFP",
-		"Figure 5b — Host NBench FP-index overhead (plot omitted in paper)",
-		nbench.FPIndex)
-}
+func FigureFP(cfg Config) (*Result, error) { return figFPDef.RunSerial(cfg) }
 
 // sevenzHostRates measures the host 7z benchmark's instruction rate for
 // 1 and 2 threads, optionally sharing the machine with a VM. It returns
@@ -194,72 +224,112 @@ func sevenzHostRates(cfg Config, prof *vmm.Profile, threads int) (float64, error
 	return instr * float64(threads) / wall, nil
 }
 
-// hostImpact7z gathers every Figure 7/8 measurement in one pass.
-type hostImpact7z struct {
-	base1t, base2t float64            // no-VM rates
-	env1t, env2t   map[string]float64 // per-environment rates
+// Figures 7 and 8 share one measurement set: the host 7z instruction
+// rate for 1 and 2 threads, with no VM and under each environment. The
+// shards enumerate it as no-vm/1t, no-vm/2t, then env0/1t, env0/2t, ...
+// Both figures carry the same cache scope, so a cached run of one
+// supplies every shard of the other.
+const hostImpactScope = "hostimpact7z"
+
+// Figure captions (paper presentation titles).
+const (
+	fig7Title = "Figure 7 — Available % CPU for host OS when guest runs at 100%"
+	fig8Title = "Figure 8 — Host 7z MIPS ratio (with VM / without VM)"
+)
+
+func hostImpactShards(Config) int { return 2 + 2*len(GuestEnvironments()) }
+
+// hostImpactShard measures one rate cell.
+func hostImpactShard(cfg Config, shard int) (ShardPayload, error) {
+	threads := shard%2 + 1
+	var prof *vmm.Profile
+	if shard >= 2 {
+		p := GuestEnvironments()[(shard-2)/2]
+		prof = &p
+	}
+	rate, err := sevenzHostRates(cfg, prof, threads)
+	if err != nil {
+		return nil, err
+	}
+	return ShardPayload{"rate": {rate}}, nil
 }
 
-func measureHostImpact(cfg Config) (*hostImpact7z, error) {
-	out := &hostImpact7z{env1t: map[string]float64{}, env2t: map[string]float64{}}
-	var err error
-	if out.base1t, err = sevenzHostRates(cfg, nil, 1); err != nil {
+// hostImpactRates unpacks the shard grid into base rates and
+// per-environment rates.
+func hostImpactRates(shards []ShardPayload) (base1t, base2t float64, env1t, env2t map[string]float64, err error) {
+	if base1t, err = shards[0].one("rate"); err != nil {
+		return
+	}
+	if base2t, err = shards[1].one("rate"); err != nil {
+		return
+	}
+	env1t, env2t = map[string]float64{}, map[string]float64{}
+	for e, prof := range GuestEnvironments() {
+		if env1t[prof.Name], err = shards[2+2*e].one("rate"); err != nil {
+			return
+		}
+		if env2t[prof.Name], err = shards[3+2*e].one("rate"); err != nil {
+			return
+		}
+	}
+	return
+}
+
+// fig7Assemble reports the 7z benchmark's effective CPU percentage (its
+// aggregate instruction rate relative to a single unloaded thread).
+func fig7Assemble(cfg Config, shards []ShardPayload) (*Result, error) {
+	base1t, base2t, env1t, env2t, err := hostImpactRates(shards)
+	if err != nil {
 		return nil, err
 	}
-	if out.base2t, err = sevenzHostRates(cfg, nil, 2); err != nil {
-		return nil, err
-	}
+	fig := &report.Figure{Title: fig7Title, Unit: "% CPU"}
+	res := newResult("fig7", fig)
+	res.add("no-vm/1t", 100*base1t/base1t, 0)
+	res.add("no-vm/2t", 100*base2t/base1t, 0)
 	for _, prof := range GuestEnvironments() {
-		prof := prof
-		if out.env1t[prof.Name], err = sevenzHostRates(cfg, &prof, 1); err != nil {
-			return nil, err
-		}
-		if out.env2t[prof.Name], err = sevenzHostRates(cfg, &prof, 2); err != nil {
-			return nil, err
-		}
+		res.add(prof.Name+"/1t", 100*env1t[prof.Name]/base1t, 0)
+		res.add(prof.Name+"/2t", 100*env2t[prof.Name]/base1t, 0)
 	}
-	return out, nil
+	return res, nil
+}
+
+// fig8Assemble reports the ratio of the host benchmark's MIPS with a VM
+// present to the same execution without one.
+func fig8Assemble(cfg Config, shards []ShardPayload) (*Result, error) {
+	base1t, base2t, env1t, env2t, err := hostImpactRates(shards)
+	if err != nil {
+		return nil, err
+	}
+	fig := &report.Figure{Title: fig8Title, Unit: " ratio", Baseline: 1}
+	res := newResult("fig8", fig)
+	for _, prof := range GuestEnvironments() {
+		res.add(prof.Name+"/1t", env1t[prof.Name]/base1t, 0)
+		res.add(prof.Name+"/2t", env2t[prof.Name]/base2t, 0)
+	}
+	return res, nil
+}
+
+var fig7Def = Sharded{
+	ID:       "fig7",
+	Title:    fig7Title,
+	Scope:    hostImpactScope,
+	Shards:   hostImpactShards,
+	Run:      hostImpactShard,
+	Assemble: fig7Assemble,
+}
+
+var fig8Def = Sharded{
+	ID:       "fig8",
+	Title:    fig8Title,
+	Scope:    hostImpactScope,
+	Shards:   hostImpactShards,
+	Run:      hostImpactShard,
+	Assemble: fig8Assemble,
 }
 
 // Figure7 regenerates "Available % CPU for host OS when guest OS is
-// running at 100%": the 7z benchmark's effective CPU percentage (its
-// aggregate instruction rate relative to a single unloaded thread).
-func Figure7(cfg Config) (*Result, error) {
-	m, err := measureHostImpact(cfg)
-	if err != nil {
-		return nil, err
-	}
-	fig := &report.Figure{
-		Title: "Figure 7 — Available % CPU for host OS when guest runs at 100%",
-		Unit:  "% CPU",
-	}
-	res := newResult("fig7", fig)
-	res.add("no-vm/1t", 100*m.base1t/m.base1t, 0)
-	res.add("no-vm/2t", 100*m.base2t/m.base1t, 0)
-	for _, prof := range GuestEnvironments() {
-		res.add(prof.Name+"/1t", 100*m.env1t[prof.Name]/m.base1t, 0)
-		res.add(prof.Name+"/2t", 100*m.env2t[prof.Name]/m.base1t, 0)
-	}
-	return res, nil
-}
+// running at 100%".
+func Figure7(cfg Config) (*Result, error) { return fig7Def.RunSerial(cfg) }
 
-// Figure8 regenerates "MIPS for 7z when guest OS is running at 100%":
-// the ratio of the host benchmark's MIPS with a VM present to the same
-// execution without one.
-func Figure8(cfg Config) (*Result, error) {
-	m, err := measureHostImpact(cfg)
-	if err != nil {
-		return nil, err
-	}
-	fig := &report.Figure{
-		Title:    "Figure 8 — Host 7z MIPS ratio (with VM / without VM)",
-		Unit:     " ratio",
-		Baseline: 1,
-	}
-	res := newResult("fig8", fig)
-	for _, prof := range GuestEnvironments() {
-		res.add(prof.Name+"/1t", m.env1t[prof.Name]/m.base1t, 0)
-		res.add(prof.Name+"/2t", m.env2t[prof.Name]/m.base2t, 0)
-	}
-	return res, nil
-}
+// Figure8 regenerates "MIPS for 7z when guest OS is running at 100%".
+func Figure8(cfg Config) (*Result, error) { return fig8Def.RunSerial(cfg) }

@@ -1,0 +1,103 @@
+package core
+
+import "fmt"
+
+// This file defines the shard decomposition of the figure generators:
+// every figure is expressed as a set of independent, deterministic units
+// of work (shards) plus a pure assembly step. The serial FigureN
+// functions below run the shards in order and assemble; the parallel
+// engine (internal/engine) runs the same shards across a worker pool and
+// assembles with the same function, so both paths produce bit-identical
+// results. Each shard boots its own simulated machine and never shares
+// mutable state, which preserves the sim kernel's single-threaded
+// determinism requirement while letting shards run concurrently.
+
+// ShardPayload is the serializable result of one shard: named vectors of
+// float64. Payloads round-trip exactly through JSON (encoding/json emits
+// shortest-round-trip float literals), which makes cached shards
+// bit-identical to freshly computed ones.
+type ShardPayload map[string][]float64
+
+// one extracts a single-valued entry, guarding against malformed
+// payloads coming back from a cache.
+func (p ShardPayload) one(key string) (float64, error) {
+	v, ok := p[key]
+	if !ok || len(v) != 1 {
+		return 0, fmt.Errorf("core: shard payload missing scalar %q", key)
+	}
+	return v[0], nil
+}
+
+// vec extracts a vector entry of the expected length.
+func (p ShardPayload) vec(key string, n int) ([]float64, error) {
+	v, ok := p[key]
+	if !ok || len(v) != n {
+		return nil, fmt.Errorf("core: shard payload missing %d-vector %q", n, key)
+	}
+	return v, nil
+}
+
+// Sharded describes one figure generator decomposed into shards.
+type Sharded struct {
+	// ID is the figure's identifier ("fig1" ... "fig8", "figFP").
+	ID string
+	// Title is the figure's full caption.
+	Title string
+	// Scope names the cache-sharing domain. Experiments with the same
+	// scope and configuration share shard results (Figures 7 and 8 both
+	// consume the ten 7z host-rate measurements). Empty means ID.
+	Scope string
+	// Shards reports the number of independent units for a config.
+	Shards func(Config) int
+	// Run executes one shard. It must be deterministic in (cfg, shard)
+	// and must not share mutable state with other shards.
+	Run func(cfg Config, shard int) (ShardPayload, error)
+	// Assemble folds the shard payloads (indexed by shard) into the
+	// figure. It must be a pure function of its inputs.
+	Assemble func(cfg Config, shards []ShardPayload) (*Result, error)
+}
+
+// CacheScope returns the effective cache-sharing scope.
+func (s Sharded) CacheScope() string {
+	if s.Scope != "" {
+		return s.Scope
+	}
+	return s.ID
+}
+
+// RunSerial executes every shard in order on the calling goroutine and
+// assembles the figure — the path the serial FigureN functions and the
+// in-package reproduction tests use.
+func (s Sharded) RunSerial(cfg Config) (*Result, error) {
+	n := s.Shards(cfg)
+	payloads := make([]ShardPayload, n)
+	for i := 0; i < n; i++ {
+		p, err := s.Run(cfg, i)
+		if err != nil {
+			return nil, err
+		}
+		payloads[i] = p
+	}
+	return s.Assemble(cfg, payloads)
+}
+
+// ShardedFigures returns the nine figure generators in paper order.
+func ShardedFigures() []Sharded {
+	return []Sharded{
+		fig1Def, fig2Def, fig3Def, fig4Def,
+		fig5Def, fig6Def, figFPDef, fig7Def, fig8Def,
+	}
+}
+
+// AllFigures regenerates every figure in paper order.
+func AllFigures(cfg Config) ([]*Result, error) {
+	var out []*Result
+	for _, def := range ShardedFigures() {
+		r, err := def.RunSerial(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", def.ID, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,14 +1,3 @@
-// Package cost defines the abstract operation model that connects real
-// benchmark code to the simulated machine.
-//
-// Real benchmark implementations (internal/bench/...) run actual algorithms
-// in Go while a Meter counts the operations they perform, classified into
-// four architectural classes: user-mode integer, user-mode floating point,
-// memory traffic, and (guest) kernel-mode work. The Meter output is a
-// Profile — a compact step stream — which the simulator replays under any
-// environment (native or one of the four VMM profiles). Separating capture
-// from replay keeps the algorithms real and testable while making each of
-// the paper's ≥50 measurement repetitions cheap.
 package cost
 
 import "fmt"

@@ -1,0 +1,23 @@
+// Package cost defines the abstract operation model that connects real
+// benchmark code to the simulated machine.
+//
+// Real benchmark implementations (internal/bench/...) run actual
+// algorithms in Go while a Meter counts the operations they perform,
+// classified into four architectural classes: user-mode integer,
+// user-mode floating point, memory traffic, and (guest) kernel-mode
+// work. The Meter output is a Profile — a compact step stream of
+// compute, I/O, network, and sleep steps — which the simulator replays
+// under any environment (native or one of the four VMM profiles).
+//
+// Separating capture from replay keeps the algorithms real and testable
+// while making each of the paper's ≥50 measurement repetitions cheap:
+// the expensive algorithm runs once per capture, and the replay costs
+// only event-queue work. It is also what makes the experiment layer
+// shardable — a captured Profile is immutable, so any number of
+// concurrent simulations can replay it without sharing state.
+//
+// Per-class cycles-per-operation constants translate operation counts
+// into cycle budgets on the modelled Core 2 micro-architecture. The
+// absolute values only set the time scale; the paper's results are
+// ratios, which depend on the class mix, not on absolute CPI.
+package cost

@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"vmdg/internal/core"
+)
+
+// cacheVersion invalidates every cached shard when the experiment
+// definitions change shape. Bump it when a shard's payload layout or the
+// meaning of a shard index changes.
+const cacheVersion = "v1"
+
+// buildFingerprint identifies the binary that produced a shard payload,
+// so entries written by one build never serve another: any change to
+// simulation or calibration code changes the executable, and with it
+// every cache key. Unchanged source rebuilds reproducibly to the same
+// binary, so the cache stays effective across `go run` invocations.
+var buildFingerprint = sync.OnceValue(func() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown-build"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown-build"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown-build"
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+})
+
+// CacheKey derives the content key of one shard: the producing build,
+// the experiment's cache scope, and every config field that can change
+// the shard's payload. Experiments sharing a scope (Figures 7 and 8)
+// produce identical keys and therefore share cached work.
+func CacheKey(scope string, cfg core.Config, shard int) string {
+	cfg = normalize(cfg)
+	return fmt.Sprintf("%s|%s|%s|seed=%d|reps=%d|quick=%t|shard=%d",
+		cacheVersion, buildFingerprint(), scope, cfg.Seed, cfg.Reps, cfg.Quick, shard)
+}
+
+// Cache stores shard payloads by content key. Implementations must be
+// safe for concurrent use; Put may be called twice with the same key
+// (two in-flight experiments sharing a scope) and must keep the entry
+// readable throughout.
+type Cache interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, payload []byte)
+}
+
+// MemCache is an in-process Cache, used by tests and the benchmark
+// harness.
+type MemCache struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMemCache returns an empty in-memory cache.
+func NewMemCache() *MemCache { return &MemCache{m: map[string][]byte{}} }
+
+// Get returns the stored payload.
+func (c *MemCache) Get(key string) ([]byte, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	b, ok := c.m[key]
+	return b, ok
+}
+
+// Put stores a payload.
+func (c *MemCache) Put(key string, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = append([]byte(nil), payload...)
+}
+
+// Len reports the number of entries.
+func (c *MemCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// FileCache persists shard payloads under a directory, one file per
+// key, so results survive across CLI invocations. Writes go through a
+// temp file + rename, so concurrent runners never observe a torn entry.
+type FileCache struct {
+	dir string
+}
+
+// NewFileCache creates (if needed) and opens a cache directory.
+func NewFileCache(dir string) (*FileCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: cache dir: %w", err)
+	}
+	return &FileCache{dir: dir}, nil
+}
+
+// DefaultCacheDir returns the per-user shard cache location
+// ($XDG_CACHE_HOME/vmdg or the OS equivalent).
+func DefaultCacheDir() (string, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(base, "vmdg"), nil
+}
+
+// path maps a key to its file: a hash keeps names short and safe.
+func (c *FileCache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// Get returns the stored payload.
+func (c *FileCache) Get(key string) ([]byte, bool) {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// Put stores a payload atomically.
+func (c *FileCache) Put(key string, payload []byte) {
+	dst := c.path(key)
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return // cache misses are always recoverable; stay silent
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(payload)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, dst); err != nil {
+		os.Remove(name)
+	}
+}

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"vmdg/internal/core"
+)
+
+// Emit writes outcomes to w the way the CLIs present them: each
+// experiment's rendered ASCII report, or — when csv is set — a
+// "# name" header followed by its CSV for experiments with tabular
+// data.
+func Emit(w io.Writer, outcomes []*Outcome, csv bool) {
+	for _, o := range outcomes {
+		if csv {
+			if c := o.CSV(); c != "" {
+				fmt.Fprintf(w, "# %s\n%s", o.Name, c)
+			}
+			continue
+		}
+		fmt.Fprintln(w, o.Render())
+	}
+}
+
+// bandLabels orders a figure's paper-target labels deterministically:
+// figure-row order first (the paper's presentation order), then any
+// headline-only labels (Figures 5/6/FP key their bands by environment
+// while the rows are environment/priority cells) sorted by name.
+func bandLabels(res *core.Result, bands map[string]core.Band) []string {
+	var labels []string
+	seen := map[string]bool{}
+	for _, row := range res.Figure.Rows {
+		if _, ok := bands[row.Label]; ok && !seen[row.Label] {
+			labels = append(labels, row.Label)
+			seen[row.Label] = true
+		}
+	}
+	var rest []string
+	for label := range bands {
+		if !seen[label] {
+			rest = append(rest, label)
+		}
+	}
+	sort.Strings(rest)
+	return append(labels, rest...)
+}
+
+// PaperComparison renders the measured-vs-published check for a figure,
+// or "" when the paper publishes no targets for it. Output order is
+// deterministic (see bandLabels), so renders are bit-identical across
+// runs and worker counts.
+func PaperComparison(res *core.Result) string {
+	bands, ok := core.PaperTargets[res.ID]
+	if !ok {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("paper comparison:\n")
+	for _, label := range bandLabels(res, bands) {
+		band := bands[label]
+		got := res.Values[label]
+		verdict := "OK"
+		if !band.In(got) {
+			verdict = "OUTSIDE BAND"
+		}
+		fmt.Fprintf(&b, "  %-16s paper %-8.4g measured %-8.4g band [%.4g, %.4g]  %s\n",
+			label, band.Paper, got, band.Lo, band.Hi, verdict)
+	}
+	return b.String()
+}
+
+// ExperimentsMarkdown renders the machine-checkable paper-vs-measured
+// artifact (EXPERIMENTS.md): one deviation table per figure with
+// published targets, built from the core.PaperTargets constants, plus
+// the text reports of the remaining experiments.
+func ExperimentsMarkdown(cfg core.Config, outcomes []*Outcome) string {
+	cfg = normalize(cfg)
+	var b strings.Builder
+	b.WriteString("# EXPERIMENTS — paper vs measured\n\n")
+	fmt.Fprintf(&b, "Regenerated with `dgrid report` at seed %d, %d repetitions, %s workload sizes.\n",
+		cfg.Seed, cfg.Reps, map[bool]string{false: "full", true: "trimmed (quick)"}[cfg.Quick])
+	b.WriteString("Every run is deterministic per seed; the acceptance bands come from\n")
+	b.WriteString("`internal/core/paper.go` and bracket the values published in the paper\n")
+	b.WriteString("(§4.1, §4.2), read from the text where quoted and off the plots otherwise.\n\n")
+
+	inBand, total := 0, 0
+	var figures, others []*Outcome
+	for _, o := range outcomes {
+		if o.Result != nil && core.PaperTargets[o.Result.ID] != nil {
+			figures = append(figures, o)
+		} else {
+			others = append(others, o)
+		}
+	}
+
+	for _, o := range figures {
+		res := o.Result
+		bands := core.PaperTargets[res.ID]
+		fmt.Fprintf(&b, "## %s\n\n", res.Figure.Title)
+		fmt.Fprintf(&b, "| label | paper | measured | deviation | accept band | status |\n")
+		fmt.Fprintf(&b, "|---|---|---|---|---|---|\n")
+		for _, label := range bandLabels(res, bands) {
+			band := bands[label]
+			got := res.Values[label]
+			status := "ok"
+			total++
+			if band.In(got) {
+				inBand++
+			} else {
+				status = "**outside**"
+			}
+			dev := "—"
+			if band.Paper != 0 {
+				dev = fmt.Sprintf("%+.1f%%", 100*(got-band.Paper)/band.Paper)
+			}
+			fmt.Fprintf(&b, "| %s | %.4g | %.4g | %s | [%.4g, %.4g] | %s |\n",
+				label, band.Paper, got, dev, band.Lo, band.Hi, status)
+		}
+		b.WriteString("\n")
+	}
+
+	fmt.Fprintf(&b, "**Summary: %d of %d paper targets reproduced within their acceptance bands.**\n\n", inBand, total)
+
+	if len(others) > 0 {
+		b.WriteString("## Ablations, sensitivities, and extensions\n\n")
+		for _, o := range others {
+			text := o.Render()
+			if text == "" {
+				continue
+			}
+			fmt.Fprintf(&b, "```\n%s```\n\n", text)
+		}
+	}
+	return b.String()
+}

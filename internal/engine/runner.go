@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vmdg/internal/core"
+)
+
+// Stats summarizes one Runner.Run call.
+type Stats struct {
+	// Experiments and Shards count the completed work.
+	Experiments int
+	Shards      int
+	// Hits and Misses partition the shards: Misses were computed, Hits
+	// were supplied without compute — from the cache, or from a
+	// shared-scope sibling computed in the same run.
+	Hits, Misses int
+	// Elapsed is the wall-clock duration of the whole run.
+	Elapsed time.Duration
+}
+
+// Runner executes experiments across a worker pool.
+type Runner struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Cache, if non-nil, supplies and stores shard payloads.
+	Cache Cache
+	// Progress, if non-nil, receives one line per completed shard and
+	// per merged experiment. It may be called from multiple goroutines.
+	Progress func(format string, args ...any)
+}
+
+// slot addresses one (experiment, shard) payload cell.
+type slot struct {
+	exp   int // index into exps
+	shard int
+}
+
+// task is one unit in the pool: a unique cache key plus every slot it
+// fills. Experiments sharing a scope (Figures 7 and 8) collapse to one
+// task per shard, so their common measurements run once even on a cold
+// cache.
+type task struct {
+	key   string
+	dests []slot
+}
+
+// Run executes every shard of every experiment on the pool, then merges
+// in input order. Outcomes are returned in input order; their content is
+// independent of the worker count, because merging is a pure function of
+// the shard payloads. On shard failure the first error (in task order)
+// is returned and remaining work is abandoned.
+func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, error) {
+	start := time.Now()
+	cfg = normalize(cfg)
+
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	var (
+		tasks  []task
+		byKey  = map[string]int{} // cache key -> index into tasks
+		nSlots int
+	)
+	payloads := make([][][]byte, len(exps))
+	for i, e := range exps {
+		n := e.Shards(cfg)
+		payloads[i] = make([][]byte, n)
+		for s := 0; s < n; s++ {
+			nSlots++
+			k := CacheKey(e.Scope(), cfg, s)
+			ti, ok := byKey[k]
+			if !ok {
+				ti = len(tasks)
+				byKey[k] = ti
+				tasks = append(tasks, task{key: k})
+			}
+			tasks[ti].dests = append(tasks[ti].dests, slot{exp: i, shard: s})
+		}
+	}
+
+	var (
+		hits, misses atomic.Int64
+		failed       atomic.Bool
+		errMu        sync.Mutex
+		firstErr     error
+		firstErrAt   = len(tasks)
+	)
+	fail := func(at int, err error) {
+		failed.Store(true)
+		errMu.Lock()
+		defer errMu.Unlock()
+		// Keep the lowest-index error so the reported failure does not
+		// depend on pool scheduling.
+		if at < firstErrAt {
+			firstErrAt, firstErr = at, err
+		}
+	}
+
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range ch {
+				if failed.Load() {
+					continue
+				}
+				t := tasks[ti]
+				// Any destination computes the same payload; run the
+				// first and fan the bytes out to every slot.
+				first := t.dests[0]
+				e := exps[first.exp]
+				fill := func(b []byte) {
+					for _, d := range t.dests {
+						payloads[d.exp][d.shard] = b
+					}
+				}
+				if r.Cache != nil {
+					if b, ok := r.Cache.Get(t.key); ok {
+						hits.Add(int64(len(t.dests)))
+						fill(b)
+						r.progress("cached %s shard %d/%d", e.Name(), first.shard+1, e.Shards(cfg))
+						continue
+					}
+				}
+				b, err := e.RunShard(cfg, first.shard)
+				if err != nil {
+					fail(ti, fmt.Errorf("engine: %s shard %d: %w", e.Name(), first.shard, err))
+					continue
+				}
+				misses.Add(1)
+				// The extra destinations were supplied without compute:
+				// count them as hits so hits+misses always equals the
+				// slot total.
+				hits.Add(int64(len(t.dests) - 1))
+				if r.Cache != nil {
+					r.Cache.Put(t.key, b)
+				}
+				fill(b)
+				r.progress("ran %s shard %d/%d", e.Name(), first.shard+1, e.Shards(cfg))
+			}
+		}()
+	}
+	for ti := range tasks {
+		ch <- ti
+	}
+	close(ch)
+	wg.Wait()
+
+	stats := Stats{
+		Experiments: len(exps),
+		Shards:      nSlots,
+		Hits:        int(hits.Load()),
+		Misses:      int(misses.Load()),
+	}
+	if failed.Load() {
+		stats.Elapsed = time.Since(start)
+		return nil, stats, firstErr
+	}
+
+	outcomes := make([]*Outcome, len(exps))
+	for i, e := range exps {
+		o, err := e.Merge(cfg, payloads[i])
+		if err != nil {
+			stats.Elapsed = time.Since(start)
+			return nil, stats, fmt.Errorf("engine: %s merge: %w", e.Name(), err)
+		}
+		outcomes[i] = o
+		r.progress("merged %s", e.Name())
+	}
+	stats.Elapsed = time.Since(start)
+	return outcomes, stats, nil
+}
+
+// RunNames resolves names against the Default registry and runs them.
+func (r *Runner) RunNames(cfg core.Config, names string) ([]*Outcome, Stats, error) {
+	exps, err := Default.Select(names)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return r.Run(cfg, exps)
+}
+
+func (r *Runner) progress(format string, args ...any) {
+	if r.Progress != nil {
+		r.Progress(format, args...)
+	}
+}

@@ -1,6 +1,3 @@
-// Package stats provides the measurement statistics of the paper's
-// methodology: every test runs repeatedly (≥50 times in the paper) and the
-// reported value summarizes the sample.
 package stats
 
 import (

@@ -1,0 +1,20 @@
+// Package timesync implements the external UDP time reference of the
+// paper's methodology (§4): "to circumvent the timing imprecision that
+// occur on virtual machines ... time measurements for executions under
+// virtual machines were done resorting to an external time reference.
+// For that purpose, we used a simple UDP time server running on the
+// host machine."
+//
+// The package has three faces:
+//
+//   - the wire protocol: a fixed-size, NTP-like request/response
+//     datagram pair carrying client transmit and server receive/transmit
+//     stamps, from which the client derives its clock offset;
+//   - a real server and client over the standard net package
+//     (cmd/timeserver runs the server), usable outside the simulation;
+//   - a simulated client (NewSimClient) that rides the guest network
+//     stack, so in-simulation experiments correct guest clock drift
+//     exactly the way the paper did — the timesync ablation measures how
+//     wrong the drifting guest clock is under host load and how much of
+//     that error the UDP correction repairs.
+package timesync

@@ -1,14 +1,3 @@
-// Package timesync implements the external UDP time reference of the
-// paper's methodology (§4): "to circumvent the timing imprecision that
-// occur on virtual machines ... time measurements for executions under
-// virtual machines were done resorting to an external time reference. For
-// that purpose, we used a simple UDP time server running on the host
-// machine."
-//
-// The package provides the wire protocol, a real server/client over the
-// standard net package (run `vmdg-timeserver`), and a simulated client
-// that rides the guest network stack so in-simulation experiments can
-// correct guest clock drift exactly the way the paper did.
 package timesync
 
 import (

@@ -1,0 +1,15 @@
+// Package trace records labelled simulator events for debugging and for
+// the experiment harness's visibility into scheduler behaviour: which
+// events fired, how often, and when.
+//
+// A Recorder attaches to the sim kernel's tracer hook and costs nothing
+// when detached — the hook is a nil check on the hot path. Recorded
+// events carry the virtual timestamp and the label the scheduling code
+// gave them ("quantum", "irq", "user-think", ...), and the package can
+// render a histogram of label frequencies or the raw timeline.
+//
+// Because each experiment shard runs its own sim instance, a Recorder
+// observes exactly one deterministic simulation; traces from the same
+// seed are identical run to run, which makes them diffable when a model
+// change moves a scheduling decision.
+package trace

@@ -1,7 +1,3 @@
-// Package trace records labelled simulator events for debugging and for
-// the experiment harness's visibility into scheduler behaviour: which
-// events fired, how often, and when. The recorder attaches to the sim
-// kernel's tracer hook and costs nothing when detached.
 package trace
 
 import (
