@@ -3,117 +3,91 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
+	"strings"
 
-	"vmdg/internal/boinc"
-	"vmdg/internal/cost"
-	"vmdg/internal/hostos"
-	"vmdg/internal/hw"
-	"vmdg/internal/sim"
-	"vmdg/internal/stats"
-	"vmdg/internal/vmm"
-	"vmdg/internal/vmm/profiles"
+	"vmdg/internal/core"
+	"vmdg/internal/engine"
+	"vmdg/internal/grid"
 )
 
-// cmdFleet simulates the paper's motivating scenario end to end: a
-// desktop grid of volunteer machines, each donating cycles to an
-// Einstein@home-style project through a sandboxed virtual machine, while
-// their owners keep using them interactively. For each environment it
-// reports the science throughput (work units completed) and the
-// intrusiveness the volunteer experiences (the latency stretch of
-// periodic interactive tasks versus an idle machine).
+// cmdFleet simulates the paper's motivating scenario at population
+// scale: a desktop grid of volunteer machines (heterogeneous hardware,
+// owners arriving and leaving) donating cycles to an
+// Einstein@home-style project through sandboxed VMs, under a chosen
+// server scheduling policy. The simulation runs through the experiment
+// engine, so shards spread across the worker pool and completed shards
+// are served from the content-keyed cache; output is bit-identical for
+// any -workers value at a fixed seed.
 func cmdFleet(args []string) error {
+	// Flag defaults come from the scenario's own normalization, so the
+	// help text can never drift from what an unset field actually runs.
+	def := grid.Scenario{}.Normalize()
 	fs := flag.NewFlagSet("dgrid fleet", flag.ExitOnError)
-	machines := fs.Int("machines", 4, "volunteer machines per environment")
-	minutes := fs.Int("minutes", 5, "virtual minutes to simulate")
-	env := fs.String("env", "", "single environment (default: all four)")
-	seed := fs.Uint64("seed", 1, "simulation seed")
+	machines := fs.Int("machines", def.Machines, "volunteer machines in the fleet")
+	minutes := fs.Int("minutes", def.Minutes, "virtual minutes to simulate")
+	env := fs.String("env", "", "single VM environment (default: the paper's four)")
+	seed := fs.Uint64("seed", 1, "simulation seed (runs are deterministic per seed)")
+	churn := fs.Bool("churn", false, "enable volunteer availability churn (power on/off sessions)")
+	policy := fs.String("policy", def.Policy, "scheduling policy: "+strings.Join(grid.Policies(), ", "))
+	replication := fs.Int("replication", def.Replication, "quorum size (replication policy)")
+	deadline := fs.Float64("deadline", def.DeadlineMin, "work-unit deadline in virtual minutes (deadline policy)")
+	faulty := fs.Float64("faulty", 0.02, "fraction of hosts returning corrupted results")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	cache := fs.String("cache", "", "shard cache directory; 'off' disables (default: the user cache dir)")
+	quick := fs.Bool("quick", false, "trim calibration windows (faster, noisier)")
+	jsonOut := fs.Bool("json", false, "emit the merged JSON payload instead of the table")
+	csv := fs.Bool("csv", false, "emit CSV instead of the table")
+	out := fs.String("out", "", "also write fleet.json and fleet.csv artifacts to this directory")
+	verbose := fs.Bool("v", false, "log per-shard progress to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v (fleet takes flags only, e.g. -machines 10000)", fs.Args())
+	}
 
-	envs := profiles.All()
+	scn := grid.Scenario{
+		Machines:    *machines,
+		Minutes:     *minutes,
+		Churn:       *churn,
+		Policy:      *policy,
+		Replication: *replication,
+		DeadlineMin: *deadline,
+		FaultyFrac:  *faulty,
+	}
 	if *env != "" {
-		p, ok := profiles.ByName(*env)
-		if !ok {
-			return fmt.Errorf("unknown environment %q", *env)
-		}
-		envs = []vmm.Profile{p}
+		scn.Envs = []string{*env}
+	}
+	// Validate rejects unknown environments with the valid name list.
+	if err := scn.Validate(); err != nil {
+		return err
 	}
 
-	fmt.Printf("desktop grid: %d machines × %d virtual minutes per environment\n\n",
-		*machines, *minutes)
-	fmt.Printf("%-12s %14s %18s %18s\n", "environment", "work units", "interactive p50", "interactive p95")
-	for _, prof := range envs {
-		units, p50, p95, err := simulateFleet(prof, *machines, *minutes, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-12s %14d %17.1fms %17.1fms\n", prof.Name, units, p50, p95)
-	}
-	// Baseline: the same interactive load on a machine with no VM.
-	_, p50, p95, err := simulateFleet(vmm.Profile{}, 1, *minutes, *seed)
+	runner, err := newRunner(*workers, *cache, *verbose)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-12s %14s %17.1fms %17.1fms\n", "no-vm", "-", p50, p95)
+	cfg := core.Config{Seed: *seed, Quick: *quick}
+	exp := engine.FleetScenario("fleet", "command-line fleet scenario", scn)
+	outcomes, stats, err := runner.Run(cfg, []engine.Experiment{exp})
+	if err != nil {
+		return err
+	}
+	o := outcomes[0]
+	switch {
+	case *jsonOut:
+		os.Stdout.Write(append(o.Raw, '\n'))
+	case *csv:
+		fmt.Print(o.CSV())
+	default:
+		fmt.Println(o.Render())
+	}
+	if *out != "" {
+		if err := writeArtifacts(*out, outcomes); err != nil {
+			return err
+		}
+	}
+	summarize(stats)
 	return nil
-}
-
-// interactiveBurst is one interactive task: 40 ms of mixed compute,
-// issued once per second — an editor keystroke storm, a page render.
-const interactiveBurst = 0.040 * 2.4e9
-
-// simulateFleet runs the fleet for the given duration and aggregates
-// results. An empty profile (Name == "") simulates volunteers without VMs
-// for the baseline.
-func simulateFleet(prof vmm.Profile, machines, minutes int, seed uint64) (units int, p50, p95 float64, err error) {
-	lat := &stats.Sample{}
-	for m := 0; m < machines; m++ {
-		s := sim.New()
-		mc, err := hw.NewMachine(s, hw.Config{Seed: seed + uint64(m)})
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		host := hostos.Boot(mc)
-
-		var worker *boinc.Worker
-		var vm *vmm.VM
-		if prof.Name != "" {
-			vm, err = vmm.New(host, vmm.Config{Prof: prof})
-			if err != nil {
-				return 0, 0, 0, err
-			}
-			wu := boinc.WorkUnit{ID: fmt.Sprintf("wu-%d", m), Seed: seed + uint64(m), Chunks: 800, CheckpointEvery: 100}
-			worker = boinc.NewWorker(boinc.Progress{WorkUnit: wu})
-			vm.SpawnGuest("einstein", worker)
-			vm.PowerOn(hostos.PrioIdle)
-		}
-
-		// The owner's interactive workload: one burst per second, with
-		// latency recorded per burst.
-		user := host.NewProcess("user")
-		var issue func()
-		issue = func() {
-			start := s.Now()
-			prog := &cost.Profile{Name: "burst", Steps: []cost.Step{
-				{Kind: cost.StepCompute, Cycles: interactiveBurst, Mix: cost.Mix{Int: 0.5, Mem: 0.3, FP: 0.2}},
-			}}
-			th := host.Spawn(user, "burst", hostos.PrioNormal, prog.Iter())
-			th.OnExit = func() {
-				lat.Add((s.Now() - start).Seconds() * 1000)
-			}
-			s.After(sim.Second, "user-think", issue)
-		}
-		s.After(100*sim.Millisecond, "user-start", issue)
-
-		host.RunFor(sim.Time(minutes) * 60 * sim.Second)
-		if worker != nil {
-			units += worker.UnitsDone()
-			vm.PowerOff()
-		}
-	}
-	if lat.N() == 0 {
-		return units, 0, 0, nil
-	}
-	return units, lat.Percentile(0.50), lat.Percentile(0.95), nil
 }

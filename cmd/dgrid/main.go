@@ -8,7 +8,8 @@
 //	dgrid run fig1,fig3 -csv        # machine-readable output
 //	dgrid run all -out artifacts/   # also write per-experiment JSON/CSV
 //	dgrid report -o EXPERIMENTS.md  # paper-vs-measured markdown artifact
-//	dgrid fleet -machines 8         # volunteer-fleet scenario simulation
+//	dgrid fleet -machines 10000 -churn -policy deadline
+//	                                # churn-aware volunteer-fleet simulation
 //
 // Experiment runs are deterministic per seed and independent of the
 // worker count: `dgrid run all -workers 1` and `-workers 8` emit
@@ -57,7 +58,7 @@ commands:
   list             list every registered experiment
   run <names|all>  run experiments (comma-separated names) on a worker pool
   report           regenerate the paper-vs-measured EXPERIMENTS.md tables
-  fleet            simulate the volunteer desktop-grid scenario
+  fleet            simulate a churn-aware volunteer desktop-grid fleet
   help             show this message
 
 run 'dgrid <command> -h' for the command's flags

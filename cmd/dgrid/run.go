@@ -34,12 +34,17 @@ func (f *runFlags) config() core.Config {
 	return core.Config{Seed: f.seed, Reps: f.reps, Quick: f.quick}
 }
 
-// runner builds the pool from the flags. Progress and summary lines go
-// to stderr so stdout stays bit-identical across worker counts and
-// cache states.
+// runner builds the pool from the flags.
 func (f *runFlags) runner() (*engine.Runner, error) {
-	r := &engine.Runner{Workers: f.workers}
-	switch f.cache {
+	return newRunner(f.workers, f.cache, f.verbose)
+}
+
+// newRunner builds a worker pool (shared by run, report, and fleet).
+// Progress and summary lines go to stderr so stdout stays
+// bit-identical across worker counts and cache states.
+func newRunner(workers int, cache string, verbose bool) (*engine.Runner, error) {
+	r := &engine.Runner{Workers: workers}
+	switch cache {
 	case "off":
 	case "":
 		dir, err := engine.DefaultCacheDir()
@@ -51,11 +56,11 @@ func (f *runFlags) runner() (*engine.Runner, error) {
 		}
 	default:
 		var err error
-		if r.Cache, err = engine.NewFileCache(f.cache); err != nil {
+		if r.Cache, err = engine.NewFileCache(cache); err != nil {
 			return nil, err
 		}
 	}
-	if f.verbose {
+	if verbose {
 		r.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "dgrid: "+format+"\n", args...)
 		}

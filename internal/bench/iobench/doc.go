@@ -1,0 +1,8 @@
+// Package iobench implements the paper's IOBench (§2): a filesystem
+// benchmark that writes and then reads back randomly generated files whose
+// sizes double from 128 KB to 32 MB, timing each phase. The original is a
+// Python script; this implementation captures the same behaviour as a cost
+// profile (data generation, 64 KB syscall-sized transfers, fsync after the
+// write phase, a cache drop before the read phase) replayed through the
+// guest filesystem.
+package iobench

@@ -1,18 +1,3 @@
-// Package nbench implements the NBench/ByteMark suite the paper uses to
-// measure host-side intrusiveness (§4.2.2): ten real algorithm kernels
-// grouped into the MEM, INT and FP indexes. Each kernel runs its genuine
-// algorithm (verified by tests) while tallying operations for simulator
-// replay.
-//
-// Index grouping follows BYTEmark:
-//
-//	INT: numeric sort, FP emulation, IDEA, Huffman
-//	MEM: string sort, bitfield, assignment
-//	FP:  Fourier, neural net, LU decomposition
-//
-// The paper could not run NBench inside guests (timer imprecision, §4.2.2)
-// — only on the host. The vmdg reproduction honours that: Figures 5 and 6
-// replay these profiles as host threads.
 package nbench
 
 import (

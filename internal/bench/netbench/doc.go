@@ -1,0 +1,7 @@
+// Package netbench implements the paper's NetBench (§2): a wrapper around
+// an iperf-style throughput measurement. The default mode transfers a
+// 10 MB data stream over one TCP connection from the guest to a remote
+// station on a 100 Mbps LAN and reports the achieved bandwidth; a UDP
+// mode floods the path at a fixed offered rate and reports delivery and
+// loss (the X1 extension experiment).
+package netbench

@@ -1,7 +1,3 @@
-// Package netbench implements the paper's NetBench (§2): a wrapper around
-// an iperf-style throughput measurement. The default mode transfers a
-// 10 MB data stream over one TCP connection from the guest to a remote
-// station on a 100 Mbps LAN and reports the achieved bandwidth.
 package netbench
 
 import (

@@ -1,0 +1,8 @@
+// Package sevenz implements the paper's 7-Zip benchmark (§2, §4.2.3): the
+// LZMA-style compression self-test 7z's `b` command runs, built from a
+// real match-finder and range coder over generated benchmark data. The
+// paper uses it both as a guest CPU benchmark and — in one- and
+// two-thread forms — as the host workload whose slowdown measures VM
+// intrusiveness, including the shared-bus ceiling that caps two threads
+// at ≈180% of one core.
+package sevenz

@@ -1,12 +1,3 @@
-// Package boinc implements the volunteer-computing layer of the paper's
-// host-impact experiments: a BOINC-style client that fetches work units,
-// runs an Einstein@home-like compute kernel at 100% of the virtual CPU,
-// checkpoints its progress to disk, and reports results (§4.2.2–§4.2.3).
-//
-// The compute kernel is a real pulsar-search-shaped workload: generate a
-// synthetic strain series, window it, FFT it (radix-2 Cooley–Tukey), and
-// scan the power spectrum for candidate peaks — the hot loop structure of
-// the actual Einstein@home application, at laptop scale.
 package boinc
 
 import (

@@ -16,13 +16,16 @@ type Project struct {
 	// canonical result is accepted (2 is the classic BOINC minimum).
 	Replication int
 
-	nextUnit  int
-	seedBase  uint64
-	chunks    int
-	ckptEvery int
+	nextUnit int
+	seedBase uint64
+	chunks   int
 
 	// assignments[unitID] lists volunteers currently holding a replica.
 	assignments map[string][]string
+	// unitIdx maps a unit ID back to its mint index (IDs are formatted
+	// from the index, but parsing them back would truncate past the
+	// padding width).
+	unitIdx map[string]int
 	// reports[unitID] collects returned peak bins by volunteer.
 	reports map[string]map[string]int
 	// canonical[unitID] holds the quorum-validated result.
@@ -44,24 +47,43 @@ func NewProject(name string, replication, chunksPerUnit int, seedBase uint64) *P
 		Replication: replication,
 		seedBase:    seedBase,
 		chunks:      chunksPerUnit,
-		ckptEvery:   chunksPerUnit / 8,
 		assignments: map[string][]string{},
+		unitIdx:     map[string]int{},
 		reports:     map[string]map[string]int{},
 		canonical:   map[string]int{},
+	}
+}
+
+// CheckpointCadence is the project convention for how often a unit of
+// the given length checkpoints: every eighth of the unit, at least
+// every chunk.
+func CheckpointCadence(chunks int) int {
+	every := chunks / 8
+	if every < 1 {
+		every = 1
+	}
+	return every
+}
+
+// MintUnit reconstructs the deterministic i-th work unit of a project
+// stream — the (ID format, seed, checkpoint cadence) convention shared
+// by Project and by schedulers that mint compatible units themselves
+// (internal/grid's non-replicating policies).
+func MintUnit(project string, i int, seedBase uint64, chunks int) WorkUnit {
+	return WorkUnit{
+		ID:              fmt.Sprintf("%s-wu-%06d", project, i),
+		Seed:            seedBase + uint64(i),
+		Chunks:          chunks,
+		CheckpointEvery: CheckpointCadence(chunks),
 	}
 }
 
 // unitID formats the id of the i-th generated unit.
 func (p *Project) unitID(i int) string { return fmt.Sprintf("%s-wu-%06d", p.Name, i) }
 
-// unitByID reconstructs the deterministic work unit for an id.
+// unitFor reconstructs the deterministic work unit for an index.
 func (p *Project) unitFor(i int) WorkUnit {
-	return WorkUnit{
-		ID:              p.unitID(i),
-		Seed:            p.seedBase + uint64(i),
-		Chunks:          p.chunks,
-		CheckpointEvery: p.ckptEvery,
-	}
+	return MintUnit(p.Name, i, p.seedBase, p.chunks)
 }
 
 // RequestWork assigns a replica to the volunteer: first any unit still
@@ -100,15 +122,14 @@ func (p *Project) RequestWork(volunteer string) WorkUnit {
 			continue
 		}
 		p.assignments[id] = append(holders, volunteer)
-		var idx int
-		fmt.Sscanf(id, p.Name+"-wu-%06d", &idx)
-		return p.unitFor(idx)
+		return p.unitFor(p.unitIdx[id])
 	}
 	// Fresh unit.
 	i := p.nextUnit
 	p.nextUnit++
 	id := p.unitID(i)
 	p.assignments[id] = []string{volunteer}
+	p.unitIdx[id] = i
 	return p.unitFor(i)
 }
 

@@ -15,7 +15,7 @@ import (
 // cacheVersion invalidates every cached shard when the experiment
 // definitions change shape. Bump it when a shard's payload layout or the
 // meaning of a shard index changes.
-const cacheVersion = "v1"
+const cacheVersion = "v2"
 
 // buildFingerprint identifies the binary that produced a shard payload,
 // so entries written by one build never serve another: any change to

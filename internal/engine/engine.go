@@ -20,6 +20,9 @@ const (
 	// KindExtension is an experiment beyond the paper (UDP loss,
 	// confinement, multi-VM).
 	KindExtension Kind = "extension"
+	// KindFleet is a desktop-grid fleet scenario (internal/grid):
+	// thousands of churning volunteer hosts under a scheduling policy.
+	KindFleet Kind = "fleet"
 )
 
 // Experiment is one entry of the registry: a named, sharded, mergeable
@@ -58,6 +61,9 @@ type Outcome struct {
 	Result *core.Result
 	// Text is the pre-rendered report for experiments without a figure.
 	Text string
+	// CSVText is the pre-rendered CSV for experiments whose tabular
+	// form does not come from a core.Result figure (fleet scenarios).
+	CSVText string
 	// Raw is the merged payload, for JSON artifacts.
 	Raw json.RawMessage
 }
@@ -87,6 +93,9 @@ func (o *Outcome) Render() string {
 // CSV returns the outcome's machine-readable form, or "" when the
 // experiment has no tabular data.
 func (o *Outcome) CSV() string {
+	if o.CSVText != "" {
+		return o.CSVText
+	}
 	if o.Result == nil {
 		return ""
 	}

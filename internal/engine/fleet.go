@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"vmdg/internal/core"
+	"vmdg/internal/grid"
+)
+
+// This file adapts internal/grid fleet scenarios to the Experiment
+// interface, so fleets inherit the worker pool and the content-keyed
+// shard cache, and registers the built-in fleet catalog.
+
+// fleetVariant is one scenario inside a fleet experiment, with the
+// label the merged report uses for it.
+type fleetVariant struct {
+	label string
+	scn   grid.Scenario
+}
+
+// fleetExperiment runs one or more fleet scenario variants as a single
+// experiment. Shard indices enumerate the variants' shards in variant
+// order, so the engine can schedule every (variant, shard) cell onto
+// the pool; the merge regroups them.
+//
+// The variant list is fixed: the config contributes only Seed and
+// Quick, which CacheKey already carries. Scope must describe exactly
+// what RunShard executes for every config — a config-dependent variant
+// list would let two experiments share a scope while simulating
+// different populations, silently cross-feeding cached shards.
+type fleetExperiment struct {
+	name, title string
+	variants    []fleetVariant
+}
+
+func (f fleetExperiment) Name() string  { return f.name }
+func (f fleetExperiment) Title() string { return f.title }
+func (f fleetExperiment) Kind() Kind    { return KindFleet }
+
+// resolve applies cfg to the variant list.
+func (f fleetExperiment) resolve(cfg core.Config) []fleetVariant {
+	vs := make([]fleetVariant, len(f.variants))
+	copy(vs, f.variants)
+	for i := range vs {
+		vs[i].scn.Seed = cfg.Seed
+		vs[i].scn.Quick = cfg.Quick
+		vs[i].scn = vs[i].scn.Normalize()
+	}
+	return vs
+}
+
+// Scope keys the cache by every scenario parameter (Seed and Quick are
+// contributed by CacheKey itself).
+func (f fleetExperiment) Scope() string {
+	var parts []string
+	for _, v := range f.variants {
+		parts = append(parts, v.label+"{"+v.scn.Normalize().Key()+"}")
+	}
+	return "fleet|" + strings.Join(parts, ";")
+}
+
+func (f fleetExperiment) Shards(cfg core.Config) int {
+	n := 0
+	for _, v := range f.resolve(cfg) {
+		n += v.scn.Shards()
+	}
+	return n
+}
+
+// locate maps a flat shard index to its (variant, local shard) cell.
+func (f fleetExperiment) locate(vs []fleetVariant, shard int) (int, int, error) {
+	for i, v := range vs {
+		if shard < v.scn.Shards() {
+			return i, shard, nil
+		}
+		shard -= v.scn.Shards()
+	}
+	return 0, 0, fmt.Errorf("shard index %d out of range", shard)
+}
+
+func (f fleetExperiment) RunShard(cfg core.Config, shard int) ([]byte, error) {
+	vs := f.resolve(cfg)
+	vi, local, err := f.locate(vs, shard)
+	if err != nil {
+		return nil, err
+	}
+	res, err := grid.RunShard(vs[vi].scn, local)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(res)
+}
+
+// fleetPayload is the merged JSON artifact: one fleet result per
+// variant.
+type fleetPayload struct {
+	Name     string
+	Variants []fleetVariantResult
+}
+
+type fleetVariantResult struct {
+	Label string
+	Fleet *grid.FleetResult
+}
+
+func (f fleetExperiment) Merge(cfg core.Config, shards [][]byte) (*Outcome, error) {
+	vs := f.resolve(cfg)
+	payload := fleetPayload{Name: f.name}
+	var text, csv strings.Builder
+	csv.WriteString(grid.CSVHeader())
+	at := 0
+	for _, v := range vs {
+		n := v.scn.Shards()
+		parts := make([]*grid.ShardResult, n)
+		for i := 0; i < n; i++ {
+			parts[i] = &grid.ShardResult{}
+			if err := json.Unmarshal(shards[at+i], parts[i]); err != nil {
+				return nil, fmt.Errorf("fleet shard %d payload: %w", at+i, err)
+			}
+		}
+		at += n
+		fr, err := grid.MergeShards(v.scn, parts)
+		if err != nil {
+			return nil, err
+		}
+		payload.Variants = append(payload.Variants, fleetVariantResult{Label: v.label, Fleet: fr})
+		if text.Len() > 0 {
+			text.WriteByte('\n')
+		}
+		if v.label != "" {
+			fmt.Fprintf(&text, "— %s —\n", v.label)
+		}
+		text.WriteString(fr.Render())
+		csv.WriteString(fr.CSVRows(v.label))
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Name: f.name, Kind: KindFleet, Text: text.String(), CSVText: csv.String(), Raw: raw}, nil
+}
+
+// FleetScenario wraps a single ad-hoc scenario (the `dgrid fleet`
+// command line) as an experiment. Equal scenarios produce equal cache
+// scopes, so a CLI run and a registered scenario with the same
+// parameters share shard results.
+func FleetScenario(name, title string, scn grid.Scenario) Experiment {
+	return fleetExperiment{
+		name:     name,
+		title:    title,
+		variants: []fleetVariant{{scn: scn.Normalize()}},
+	}
+}
+
+// fleetMachines is the registered scenarios' population: big enough to
+// exercise sharding, small enough that `dgrid run all` stays
+// interactive. It must not depend on the config — see fleetExperiment.
+// Quick runs trim only the calibration windows.
+const fleetMachines = 2048
+
+func init() {
+	Default.mustRegister(fleetExperiment{
+		name:  "fleetchurn",
+		title: "Fleet F1 — volunteer fleet under availability churn, per environment",
+		variants: []fleetVariant{{scn: grid.Scenario{
+			Machines: fleetMachines, Minutes: 120,
+			Churn: true, Policy: "deadline", FaultyFrac: 0.02,
+		}}},
+	})
+	policyVariants := func() []fleetVariant {
+		var vs []fleetVariant
+		for _, pol := range grid.Policies() {
+			vs = append(vs, fleetVariant{
+				label: "policy " + pol,
+				scn: grid.Scenario{
+					Machines: fleetMachines, Minutes: 120,
+					Churn: true, Policy: pol, FaultyFrac: 0.02,
+					Envs: []string{"vmplayer"},
+				},
+			})
+		}
+		return vs
+	}
+	Default.mustRegister(fleetExperiment{
+		name:     "fleetpolicy",
+		title:    "Fleet F2 — scheduling policies under churn (fifo vs deadline vs replication)",
+		variants: policyVariants(),
+	})
+}

@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"vmdg/internal/core"
+	"vmdg/internal/grid"
+)
+
+// testFleetScn is small enough for unit tests but still multi-shard,
+// so the worker pool genuinely interleaves shard execution.
+func testFleetScn() grid.Scenario {
+	return grid.Scenario{
+		Machines: 3*grid.ShardSize/2 + 10, Minutes: 45,
+		Churn: true, Policy: "deadline", FaultyFrac: 0.02,
+		Envs: []string{"vmplayer"},
+	}
+}
+
+// TestFleetWorkerCountInvariance is the fleet determinism contract end
+// to end: the same seed must produce bit-identical work-unit counts,
+// latency percentiles, and artifacts for any worker count.
+func TestFleetWorkerCountInvariance(t *testing.T) {
+	cfg := core.Config{Seed: 3, Quick: true}
+	var outs []*Outcome
+	for _, workers := range []int{1, 7} {
+		r := &Runner{Workers: workers, Cache: NewMemCache()}
+		exp := FleetScenario("fleet", "t", testFleetScn())
+		got, stats, err := r.Run(cfg, []Experiment{exp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Shards != 2 {
+			t.Fatalf("expected a 2-shard fleet, got %d shards", stats.Shards)
+		}
+		outs = append(outs, got[0])
+	}
+	if outs[0].Render() != outs[1].Render() {
+		t.Fatalf("rendered fleet differs across worker counts:\n%s\nvs\n%s",
+			outs[0].Render(), outs[1].Render())
+	}
+	if !bytes.Equal(outs[0].Raw, outs[1].Raw) {
+		t.Fatal("fleet JSON payload differs across worker counts")
+	}
+	if outs[0].CSV() != outs[1].CSV() || outs[0].CSV() == "" {
+		t.Fatal("fleet CSV differs across worker counts or is empty")
+	}
+}
+
+// TestFleetCacheReplay checks that a fleet replayed entirely from the
+// shard cache merges to the identical outcome.
+func TestFleetCacheReplay(t *testing.T) {
+	cfg := core.Config{Seed: 5, Quick: true}
+	cache := NewMemCache()
+	exp := FleetScenario("fleet", "t", testFleetScn())
+
+	r := &Runner{Workers: 4, Cache: cache}
+	first, stats, err := r.Run(cfg, []Experiment{exp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Misses != stats.Shards {
+		t.Fatalf("cold run: %d misses for %d shards", stats.Misses, stats.Shards)
+	}
+	second, stats, err := r.Run(cfg, []Experiment{exp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hits != stats.Shards {
+		t.Fatalf("warm run: %d hits for %d shards", stats.Hits, stats.Shards)
+	}
+	if !bytes.Equal(first[0].Raw, second[0].Raw) {
+		t.Fatal("cache replay changed the merged fleet")
+	}
+}
+
+// TestFleetRegistered checks the built-in fleet catalog: both
+// scenarios resolve, shard counts are positive, and the policy
+// comparison enumerates one variant per policy.
+func TestFleetRegistered(t *testing.T) {
+	cfg := core.Config{Seed: 1, Quick: true}
+	for _, name := range []string{"fleetchurn", "fleetpolicy"} {
+		e, ok := Default.Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		if e.Kind() != KindFleet {
+			t.Fatalf("%s kind = %s", name, e.Kind())
+		}
+		if e.Shards(cfg) < 1 {
+			t.Fatalf("%s has no shards", name)
+		}
+	}
+	fp, _ := Default.Lookup("fleetpolicy")
+	want := len(grid.Policies())
+	if got := fp.(fleetExperiment).resolve(cfg); len(got) != want {
+		t.Fatalf("fleetpolicy has %d variants, want %d", len(got), want)
+	}
+}
+
+// TestFleetScopeDistinguishesScenarios ensures scenario parameters
+// reach the cache key: different policies must never share shards.
+func TestFleetScopeDistinguishesScenarios(t *testing.T) {
+	a := testFleetScn()
+	b := testFleetScn()
+	b.Policy = "replication"
+	sa := FleetScenario("fleet", "t", a).Scope()
+	sb := FleetScenario("fleet", "t", b).Scope()
+	if sa == sb {
+		t.Fatalf("scenarios with different policies share scope %q", sa)
+	}
+}

@@ -87,11 +87,14 @@ func ExperimentsMarkdown(cfg core.Config, outcomes []*Outcome) string {
 	b.WriteString("(§4.1, §4.2), read from the text where quoted and off the plots otherwise.\n\n")
 
 	inBand, total := 0, 0
-	var figures, others []*Outcome
+	var figures, fleets, others []*Outcome
 	for _, o := range outcomes {
-		if o.Result != nil && core.PaperTargets[o.Result.ID] != nil {
+		switch {
+		case o.Result != nil && core.PaperTargets[o.Result.ID] != nil:
 			figures = append(figures, o)
-		} else {
+		case o.Kind == KindFleet:
+			fleets = append(fleets, o)
+		default:
 			others = append(others, o)
 		}
 	}
@@ -127,6 +130,19 @@ func ExperimentsMarkdown(cfg core.Config, outcomes []*Outcome) string {
 	if len(others) > 0 {
 		b.WriteString("## Ablations, sensitivities, and extensions\n\n")
 		for _, o := range others {
+			text := o.Render()
+			if text == "" {
+				continue
+			}
+			fmt.Fprintf(&b, "```\n%s```\n\n", text)
+		}
+	}
+
+	if len(fleets) > 0 {
+		b.WriteString("## Fleet scenarios\n\n")
+		b.WriteString("Churn-aware volunteer fleets (internal/grid) at population scale,\n")
+		b.WriteString("calibrated against the detailed stack; see ARCHITECTURE.md.\n\n")
+		for _, o := range fleets {
 			text := o.Render()
 			if text == "" {
 				continue

@@ -1,0 +1,109 @@
+package grid
+
+import (
+	"vmdg/internal/hw"
+	"vmdg/internal/sim"
+)
+
+// Class is one stratum of the heterogeneous volunteer population: a
+// hardware configuration plus the behaviour of its owner. Churn and
+// activity durations are means of exponential distributions, drawn per
+// host from its own deterministic stream.
+type Class struct {
+	// Name labels the class in results and calibration keys.
+	Name string
+	// CPU is the hardware model handed to hw.NewMachine.
+	CPU hw.CPU
+	// Weight is the class's share of the population (weights need not
+	// sum to 1; they are normalized).
+	Weight float64
+
+	// MeanOnMin / MeanOffMin are the mean powered-on session and
+	// powered-off gap, in minutes (used only when churn is enabled).
+	MeanOnMin, MeanOffMin float64
+	// MeanActiveMin / MeanIdleMin alternate the owner between actively
+	// using the machine (interactive bursts, VM throttled to leftover
+	// cycles) and being away from the keyboard.
+	MeanActiveMin, MeanIdleMin float64
+}
+
+// Classes returns the default population mix: the paper's testbed
+// machine plus the strata around it that a 2008-era campus grid would
+// actually contain. Weights and churn means follow the shape reported
+// by desktop-grid availability studies: office machines are on for
+// long stretches during the day, laptops come and go, lab machines
+// run nearly unattended.
+func Classes() []Class {
+	return []Class{
+		{
+			// The paper's testbed: Core 2 Duo 6600, owner present much
+			// of the session.
+			Name: "office", CPU: hw.Core2Duo6600(), Weight: 0.40,
+			MeanOnMin: 150, MeanOffMin: 60,
+			MeanActiveMin: 9, MeanIdleMin: 14,
+		},
+		{
+			// Aging single-core stock, long-running but slow.
+			Name: "legacy", CPU: hw.CPU{Cores: 1, FreqHz: 1.8e9, BusK: 0.45}, Weight: 0.25,
+			MeanOnMin: 200, MeanOffMin: 120,
+			MeanActiveMin: 8, MeanIdleMin: 20,
+		},
+		{
+			// Lab/enthusiast quads: nearly always on, owner mostly away.
+			Name: "lab", CPU: hw.CPU{Cores: 4, FreqHz: 3.0e9, BusK: 0.45}, Weight: 0.15,
+			MeanOnMin: 420, MeanOffMin: 45,
+			MeanActiveMin: 6, MeanIdleMin: 30,
+		},
+		{
+			// Laptops: quick lid-close churn, owner hovering.
+			Name: "laptop", CPU: hw.CPU{Cores: 2, FreqHz: 1.6e9, BusK: 0.45}, Weight: 0.20,
+			MeanOnMin: 50, MeanOffMin: 90,
+			MeanActiveMin: 12, MeanIdleMin: 9,
+		},
+	}
+}
+
+// hostSeed derives the environment-independent identity stream of host
+// g: class membership, honesty, and every churn/activity draw come
+// from it, so the same volunteer behaves identically under every VM
+// environment and any shard layout.
+func hostSeed(seed uint64, g int) uint64 {
+	return splitmix(seed ^ splitmix(uint64(g)+0x632be59bd9b4e019))
+}
+
+// envSeed derives the environment-specific stream of host g (latency
+// resampling, corrupted-result values), independent of the owner
+// stream.
+func envSeed(seed uint64, env string, g int) uint64 {
+	h := splitmix(seed + 0x9e3779b97f4a7c15)
+	for _, c := range env {
+		h = splitmix(h ^ uint64(c))
+	}
+	return splitmix(h ^ uint64(g))
+}
+
+// splitmix is one SplitMix64 output step, used to spread structured
+// seed inputs into independent-looking streams.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// classFor deterministically assigns host g its class by weighted draw
+// on the host's identity stream.
+func classFor(classes []Class, seed uint64, g int) *Class {
+	var total float64
+	for i := range classes {
+		total += classes[i].Weight
+	}
+	r := sim.NewRNG(hostSeed(seed, g)^0xc1a55).Float64() * total
+	for i := range classes {
+		r -= classes[i].Weight
+		if r < 0 {
+			return &classes[i]
+		}
+	}
+	return &classes[len(classes)-1]
+}

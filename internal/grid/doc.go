@@ -1,0 +1,69 @@
+// Package grid scales the paper's motivating scenario — volunteer
+// desktop machines donating cycles to a BOINC-style project through
+// sandboxed virtual machines — from a handful of always-on hosts to
+// fleets of tens of thousands with realistic availability churn.
+//
+// # Two-level simulation
+//
+// Simulating 10,000 hosts through the full micro-architectural stack
+// (internal/hw scheduler rates, internal/hostos threads, internal/vmm
+// device emulation) would cost minutes of wall clock per virtual
+// minute. Instead the fleet runs a two-level model:
+//
+//   - Calibration. For every (host class, VM environment) pair that
+//     appears in the population, one detailed micro-simulation is run
+//     through the real stack: a machine of that class boots the host
+//     OS, powers a VM with the environment's profile, and executes an
+//     Einstein@home worker (internal/boinc) at idle priority while the
+//     owner's interactive bursts arrive once per second. The
+//     micro-simulation yields the VM's science rate (chunks/second)
+//     with the owner active and away, plus the empirical distribution
+//     of interactive-burst latencies — the paper's intrusiveness
+//     metric. Calibrations are memoized per process and are pure
+//     functions of (class, profile, seed, checkpoint interval, quick),
+//     so every shard that needs one observes identical values.
+//
+//   - Fleet. Each host is then a coarse state machine driven by the
+//     same discrete-event kernel (internal/sim): power sessions and
+//     owner activity alternate via exponential draws from the host's
+//     own SplitMix64 stream, work-unit progress accrues at the
+//     calibrated rate, and completions fire as predicted events that
+//     are cancelled and rescheduled when the rate changes.
+//
+// # Churn, checkpoints, eviction
+//
+// When a volunteer powers a machine off mid-work-unit, the VM is
+// evicted: progress since the worker's last periodic checkpoint is
+// lost, and the surviving state is captured as a real
+// vmm.Checkpoint (Encode/Decode round-trip) whose payload is the
+// boinc.Progress file — exactly what a migration of the sandbox would
+// carry. When the owner returns, the host restores the checkpoint and
+// resumes the same unit.
+//
+// # Sharding and determinism
+//
+// A fleet is partitioned into shards of at most ShardSize hosts. Host
+// identity — hardware class, honesty, churn pattern — derives from
+// the host's global index and the scenario seed, never from the shard
+// layout, so the population is identical no matter how shards are cut
+// or on how many workers they run. Each shard owns an independent
+// event loop and project server; shard results are plain sums and
+// fixed-bin histogram merges folded in shard order, which makes the
+// merged fleet result bit-identical for any worker count. Owner
+// behaviour (power and activity sessions) draws from an
+// environment-independent stream, so the same volunteers churn the
+// same way under every VM environment being compared.
+//
+// # Scheduling policies
+//
+// The per-shard project server hands out work through a pluggable
+// Policy: plain FIFO issue, deadline-aware reissue of overdue units,
+// or N-way replication with quorum validation (wrapping
+// boinc.Project), which catches the configurable fraction of faulty
+// hosts that return corrupted results. One deliberate deviation from
+// internal/boinc: result values are a cheap deterministic surrogate
+// (a hash of the unit seed) rather than the real FFT peak bin, so a
+// 10k-host fleet does not spend its time in Cooley–Tukey butterflies;
+// agreement semantics — what quorum validation consumes — are
+// preserved.
+package grid

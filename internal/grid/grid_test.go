@@ -1,0 +1,338 @@
+package grid
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vmdg/internal/boinc"
+	"vmdg/internal/sim"
+	"vmdg/internal/vmm"
+	"vmdg/internal/vmm/profiles"
+)
+
+// quickScn is a small churning scenario used across the tests. Quick
+// calibration keeps each (class, env) micro-sim short, and the
+// process-wide memoization means the whole file pays for it once.
+func quickScn() Scenario {
+	return Scenario{
+		Machines: 600, Minutes: 90, Seed: 1, Quick: true,
+		Churn: true, FaultyFrac: 0.02, Envs: []string{"vmplayer"},
+	}.Normalize()
+}
+
+func TestHostRangeCoversPopulation(t *testing.T) {
+	for _, machines := range []int{1, 7, ShardSize, ShardSize + 1, 3*ShardSize + 5, 10000} {
+		scn := Scenario{Machines: machines}.Normalize()
+		if scn.Shards() != len(scn.Envs)*scn.popShards() {
+			t.Fatalf("machines=%d: %d shards for %d envs × %d slices",
+				machines, scn.Shards(), len(scn.Envs), scn.popShards())
+		}
+		next := 0
+		for i := 0; i < scn.popShards(); i++ {
+			lo, hi := scn.HostRange(i)
+			if lo != next {
+				t.Fatalf("machines=%d shard %d starts at %d, want %d", machines, i, lo, next)
+			}
+			if hi-lo > ShardSize {
+				t.Fatalf("machines=%d shard %d holds %d hosts > ShardSize", machines, i, hi-lo)
+			}
+			next = hi
+		}
+		if next != machines {
+			t.Fatalf("machines=%d shards cover %d hosts", machines, next)
+		}
+	}
+}
+
+func TestValidateListsEnvironments(t *testing.T) {
+	scn := quickScn()
+	scn.Envs = []string{"vmware-fusion"}
+	err := scn.Validate()
+	if err == nil {
+		t.Fatal("unknown environment accepted")
+	}
+	for _, name := range []string{"vmplayer", "qemu", "virtualbox", "virtualpc", "native", "vmplayer-nat"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list valid environment %q", err, name)
+		}
+	}
+}
+
+func TestRunShardIsPure(t *testing.T) {
+	scn := quickScn()
+	scn.Machines = 200
+	a, err := RunShard(scn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunShard(scn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatal("two runs of the same shard differ")
+	}
+}
+
+// TestMergeShardInvariant is the determinism contract at the grid
+// level: merging shards is a pure fold, so the merged fleet must not
+// depend on which order shards were *computed* in (the engine computes
+// them on a pool in arbitrary order but always merges by index).
+func TestMergeDeterministic(t *testing.T) {
+	scn := quickScn()
+	shards := make([]*ShardResult, scn.Shards())
+	for i := range shards {
+		var err error
+		if shards[i], err = RunShard(scn, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr1, err := MergeShards(scn, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute shard 1 fresh and merge again.
+	again, err := RunShard(scn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards[1] = again
+	fr2, err := MergeShards(scn, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr1.Render() != fr2.Render() || fr1.CSV() != fr2.CSV() {
+		t.Fatal("merged fleet result not deterministic")
+	}
+}
+
+func TestChurnDrivesCheckpointRestart(t *testing.T) {
+	scn := quickScn()
+	shards := make([]*ShardResult, scn.Shards())
+	for i := range shards {
+		var err error
+		if shards[i], err = RunShard(scn, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr, err := MergeShards(scn, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := fr.Envs[0]
+	if st.Evictions == 0 || st.Restores == 0 {
+		t.Fatalf("churn produced no eviction/restart cycles: %+v", st)
+	}
+	if st.LostChunks <= 0 {
+		t.Fatalf("evictions lost no chunks: %+v", st)
+	}
+	if st.Policy.Validated == 0 {
+		t.Fatalf("fleet validated no units: %+v", st.Policy)
+	}
+	horizon := float64(scn.Minutes) * 60 * float64(st.Hosts)
+	if st.OnSeconds <= 0 || st.OnSeconds >= horizon {
+		t.Fatalf("availability %f outside (0, horizon)", st.OnSeconds)
+	}
+	if st.Latency.N == 0 {
+		t.Fatal("no interactive bursts recorded")
+	}
+}
+
+// TestChurnEnvironmentIndependent checks the population contract: the
+// same volunteers power-cycle the same way under every VM environment,
+// so eviction/restore counts and availability match across envs.
+func TestChurnEnvironmentIndependent(t *testing.T) {
+	scn := quickScn()
+	scn.Machines = 300
+	scn.Envs = []string{"vmplayer", "qemu"}
+	// Shard 0 is (vmplayer, slice 0); shard popShards() is (qemu, slice 0).
+	srA, err := RunShard(scn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srB, err := RunShard(scn, scn.popShards())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := srA.Envs[0], srB.Envs[0]
+	if a.Evictions != b.Evictions || a.Restores != b.Restores || a.OnSeconds != b.OnSeconds {
+		t.Fatalf("owner behaviour differs across environments:\n%+v\n%+v", a, b)
+	}
+	if a.Policy.Validated == b.Policy.Validated && a.LostChunks == b.LostChunks {
+		t.Fatal("environments produced identical science — calibration not applied?")
+	}
+}
+
+func TestHostCheckpointRoundTrip(t *testing.T) {
+	env := &envShard{prof: profByName(t, "vmplayer")}
+	h := &host{
+		env: env, id: "h000042", hasWork: true,
+		wu:       boinc.WorkUnit{ID: "t-wu-000001", Seed: 9, Chunks: 1000, CheckpointEvery: 128},
+		progress: 700.5,
+	}
+	h.ckpt = h.encodeCheckpoint(5 * sim.Second)
+	h.wu, h.progress, h.hasWork = boinc.WorkUnit{}, 0, false
+	if err := h.restoreCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if h.wu.ID != "t-wu-000001" || !h.hasWork {
+		t.Fatalf("restore lost the unit: %+v", h.wu)
+	}
+	if h.progress != 700 {
+		t.Fatalf("restored progress %v, want 700 (int chunks)", h.progress)
+	}
+}
+
+func TestEvictionRollsBackToCheckpoint(t *testing.T) {
+	scn := Scenario{Machines: 1, Minutes: 1, Churn: true}.Normalize()
+	env := &envShard{
+		scn: scn, prof: profByName(t, "vmplayer"), sim: sim.New(),
+		stats: &EnvStats{},
+	}
+	h := &host{
+		env: env, id: "h0", class: &Classes()[0],
+		cal:      Calibration{ActiveChunksPerSec: 1, IdleChunksPerSec: 1, BurstMs: []float64{1}},
+		ownerRNG: sim.NewRNG(1), envRNG: sim.NewRNG(2),
+		on: true, hasWork: true,
+		wu:       boinc.WorkUnit{ID: "t-wu-000000", Seed: 1, Chunks: 1000, CheckpointEvery: 100},
+		progress: 351,
+		accrued:  10 * sim.Second, // progress already settled at the eviction instant
+	}
+	h.powerOff(10 * sim.Second)
+	if h.progress != 300 {
+		t.Fatalf("progress after eviction %v, want rollback to 300", h.progress)
+	}
+	if env.stats.Evictions != 1 || env.stats.LostChunks != 51 {
+		t.Fatalf("eviction accounting wrong: %+v", env.stats)
+	}
+	if h.ckpt == nil {
+		t.Fatal("no checkpoint survived the eviction")
+	}
+	h.powerOn(20*sim.Second, true)
+	if env.stats.Restores != 1 || h.progress != 300 || h.wu.ID != "t-wu-000000" {
+		t.Fatalf("restart did not resume the checkpoint: progress=%v wu=%v", h.progress, h.wu.ID)
+	}
+}
+
+func TestQuorumPolicyValidation(t *testing.T) {
+	scn := Scenario{Policy: "replication", Replication: 2, ChunksPerUnit: 800}.Normalize()
+	pol := newPolicy(scn, "t", 100)
+	wu := pol.Assign("faulty", 0)
+	truth := resultFor(wu)
+
+	// The second replica of the same unit goes to an honest host.
+	if got := pol.Assign("honest-1", 0); got.ID != wu.ID {
+		t.Fatalf("under-replicated unit not topped up: got %s, want %s", got.ID, wu.ID)
+	}
+	pol.Submit("faulty", wu, truth+1, sim.Second)
+	pol.Submit("honest-1", wu, truth, 2*sim.Second)
+	// 1–1 split: the tie-breaker replica goes to a third host.
+	wu2 := pol.Assign("honest-2", 3*sim.Second)
+	if wu2.ID != wu.ID {
+		t.Fatalf("tie-breaker not reissued: got %s, want %s", wu2.ID, wu.ID)
+	}
+	pol.Submit("honest-2", wu, truth, 4*sim.Second)
+
+	st := pol.Stats()
+	if st.Validated != 1 || st.Bad != 0 {
+		t.Fatalf("quorum failed to validate the true result: %+v", st)
+	}
+	if st.Invalid != 1 {
+		t.Fatalf("corrupted report not counted invalid: %+v", st)
+	}
+}
+
+func TestDeadlinePolicyReissuesOverdueUnits(t *testing.T) {
+	scn := Scenario{Policy: "deadline", DeadlineMin: 1, ChunksPerUnit: 800}.Normalize()
+	pol := newPolicy(scn, "t", 200)
+	wu := pol.Assign("gone-host", 0)
+
+	// Before the deadline a second host gets fresh work.
+	early := pol.Assign("other", 30*sim.Second)
+	if early.ID == wu.ID {
+		t.Fatal("unit reissued before its deadline")
+	}
+	// After the deadline the overdue unit is handed out again.
+	late := pol.Assign("rescuer", 2*60*sim.Second)
+	if late.ID != wu.ID {
+		t.Fatalf("overdue unit not reissued: got %s, want %s", late.ID, wu.ID)
+	}
+	pol.Submit("rescuer", wu, resultFor(wu), 3*60*sim.Second)
+	// The original host finally returns: a duplicate, not a new unit.
+	pol.Submit("gone-host", wu, resultFor(wu), 4*60*sim.Second)
+
+	st := pol.Stats()
+	if st.Validated != 1 || st.Duplicates != 1 {
+		t.Fatalf("deadline accounting wrong: %+v", st)
+	}
+	if st.UnitsIssued != 2 || st.Assignments != 3 {
+		t.Fatalf("issue accounting wrong: %+v", st)
+	}
+}
+
+func TestFifoLeavesChurnedUnitsOutstanding(t *testing.T) {
+	scn := Scenario{Policy: "fifo", ChunksPerUnit: 800}.Normalize()
+	pol := newPolicy(scn, "t", 300)
+	wu1 := pol.Assign("gone-host", 0)
+	wu2 := pol.Assign("worker", 0)
+	if wu1.ID == wu2.ID {
+		t.Fatal("fifo reissued a unit")
+	}
+	pol.Submit("worker", wu2, resultFor(wu2), sim.Second)
+	st := pol.Stats()
+	if st.Validated != 1 || st.Outstanding != 1 {
+		t.Fatalf("fifo accounting wrong: %+v", st)
+	}
+}
+
+func TestHistogramPercentileAndMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 1; i <= 100; i++ {
+		a.Add(float64(i)) // 1..100 ms
+	}
+	p50 := a.Percentile(0.50)
+	if p50 < 40 || p50 > 62 {
+		t.Fatalf("p50 of 1..100ms = %v, want ≈50 within bin resolution", p50)
+	}
+	b.Add(1e9) // clamps into the top bin
+	if got := b.Percentile(1); got < 1e4 {
+		t.Fatalf("overflow latency binned at %v, want top bin", got)
+	}
+	var m Histogram
+	m.Merge(&a)
+	m.Merge(&b)
+	if m.N != a.N+b.N {
+		t.Fatalf("merge lost samples: %d != %d", m.N, a.N+b.N)
+	}
+}
+
+func TestClassAssignmentDeterministicAndMixed(t *testing.T) {
+	classes := Classes()
+	seen := map[string]int{}
+	for g := 0; g < 2000; g++ {
+		c1 := classFor(classes, 7, g)
+		c2 := classFor(classes, 7, g)
+		if c1.Name != c2.Name {
+			t.Fatal("class assignment not deterministic")
+		}
+		seen[c1.Name]++
+	}
+	for _, c := range classes {
+		if seen[c.Name] == 0 {
+			t.Fatalf("class %s missing from a 2000-host population: %v", c.Name, seen)
+		}
+	}
+}
+
+func profByName(t *testing.T, name string) vmm.Profile {
+	t.Helper()
+	prof, ok := profiles.ByName(name)
+	if !ok {
+		t.Fatalf("profile %s missing", name)
+	}
+	return prof
+}

@@ -1,0 +1,64 @@
+package grid
+
+import "math"
+
+// Histogram bin layout: log-spaced bins covering 0.01 ms .. 100 s
+// (7 decades), which brackets every latency the burst model can
+// produce. The layout is part of the shard payload format — changing
+// it changes merged percentiles, so treat it like a wire format.
+const (
+	histBins    = 256
+	histMinMs   = 0.01
+	histDecades = 7.0
+)
+
+// Histogram accumulates interactive-burst latencies in fixed log
+// bins. Fixed bins make the merge of any number of shard histograms a
+// plain element-wise sum — associative, commutative, and therefore
+// bit-identical no matter how many workers produced the shards.
+type Histogram struct {
+	Counts [histBins]int64
+	N      int64
+}
+
+// Add records one latency in milliseconds.
+func (h *Histogram) Add(ms float64) {
+	i := 0
+	if ms > histMinMs {
+		i = int(math.Log10(ms/histMinMs) * histBins / histDecades)
+		if i >= histBins {
+			i = histBins - 1
+		}
+	}
+	h.Counts[i]++
+	h.N++
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.Counts {
+		h.Counts[i] += c
+	}
+	h.N += other.N
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) as the geometric
+// midpoint of the bin where the cumulative count crosses rank p·N; an
+// empty histogram reports 0.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p * float64(h.N)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			return histMinMs * math.Pow(10, (float64(i)+0.5)*histDecades/histBins)
+		}
+	}
+	return histMinMs * math.Pow(10, histDecades)
+}

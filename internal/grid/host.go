@@ -1,0 +1,268 @@
+package grid
+
+import (
+	"fmt"
+
+	"vmdg/internal/boinc"
+	"vmdg/internal/sim"
+	"vmdg/internal/vmm"
+)
+
+// host is one coarse-grained volunteer machine inside a shard's event
+// loop: a state machine over (powered, owner-active) whose work-unit
+// progress accrues at the calibrated rate of its (class, environment)
+// pair.
+type host struct {
+	env *envShard
+
+	id     string
+	class  *Class
+	faulty bool
+	cal    Calibration
+
+	// ownerRNG drives churn and activity (environment-independent, so
+	// the same volunteer behaves identically under every environment);
+	// envRNG drives latency resampling and corrupted result values.
+	ownerRNG *sim.RNG
+	envRNG   *sim.RNG
+
+	on      bool
+	active  bool
+	onStart sim.Time // when the current power session began
+
+	// Work in flight.
+	hasWork  bool
+	wu       boinc.WorkUnit
+	progress float64  // chunks done on wu
+	accrued  sim.Time // progress is exact as of this instant
+	ckpt     []byte   // encoded vmm.Checkpoint surviving power-off
+
+	phaseStart sim.Time // start of the current active/idle phase
+
+	completion *sim.Event
+	flip       *sim.Event
+}
+
+// rate is the host's current science rate in chunks/second.
+func (h *host) rate() float64 {
+	if h.active {
+		return h.cal.ActiveChunksPerSec
+	}
+	return h.cal.IdleChunksPerSec
+}
+
+// accrue brings progress up to now at the prevailing rate.
+func (h *host) accrue(now sim.Time) {
+	if h.on && h.hasWork {
+		h.progress += h.rate() * (now - h.accrued).Seconds()
+		if h.progress > float64(h.wu.Chunks) {
+			h.progress = float64(h.wu.Chunks)
+		}
+	}
+	h.accrued = now
+}
+
+// flushPhase closes the owner phase that ran since phaseStart: active
+// phases contribute one interactive burst per whole second, resampled
+// from the calibrated latency distribution.
+func (h *host) flushPhase(now sim.Time) {
+	if h.on && h.active {
+		dur := (now - h.phaseStart).Seconds()
+		h.env.stats.ActiveSeconds += dur
+		n := len(h.cal.BurstMs)
+		for i := 0; i < int(dur); i++ {
+			h.env.stats.Latency.Add(h.cal.BurstMs[h.envRNG.Intn(n)])
+		}
+	}
+	h.phaseStart = now
+}
+
+// scheduleCompletion (re)schedules the predicted completion of the
+// current unit. Call after every rate or assignment change.
+func (h *host) scheduleCompletion(now sim.Time) {
+	if h.completion != nil {
+		h.completion.Cancel()
+		h.completion = nil
+	}
+	if !h.on || !h.hasWork {
+		return
+	}
+	remaining := float64(h.wu.Chunks) - h.progress
+	if remaining < 0 {
+		remaining = 0
+	}
+	eta := now + sim.FromSeconds(remaining/h.rate())
+	h.completion = h.env.sim.At(eta, "complete", func() { h.complete(eta) })
+}
+
+// complete fires when the predicted completion instant arrives: the
+// host submits its result and requests the next unit.
+func (h *host) complete(now sim.Time) {
+	h.completion = nil
+	h.accrue(now)
+	result := resultFor(h.wu)
+	if h.faulty {
+		result = int(h.envRNG.Uint64() % resultSpace)
+		if result == resultFor(h.wu) {
+			result = (result + 1) % resultSpace
+		}
+	}
+	h.env.policy.Submit(h.id, h.wu, result, now)
+	h.ckpt = nil
+	h.hasWork = false
+	h.requestWork(now)
+	h.scheduleCompletion(now)
+}
+
+// requestWork asks the shard's server for a fresh unit.
+func (h *host) requestWork(now sim.Time) {
+	h.wu = h.env.policy.Assign(h.id, now)
+	h.hasWork = true
+	h.progress = 0
+	h.accrued = now
+}
+
+// powerOn boots the machine: restore the held checkpoint or fetch
+// fresh work, set the owner's presence, and — under churn — schedule
+// the session's end. ownerPresent is true when the owner just sat down
+// to switch the machine on (every mid-run power-on); the t=0 boot
+// passes a stationary draw instead, so short horizons do not measure a
+// synchronized everyone-active start transient.
+func (h *host) powerOn(now sim.Time, ownerPresent bool) {
+	h.on = true
+	h.onStart = now
+	h.accrued = now
+	switch {
+	case h.ckpt != nil:
+		if err := h.restoreCheckpoint(); err != nil {
+			// A checkpoint this host encoded itself cannot fail to
+			// decode; treat corruption as a model bug.
+			panic(fmt.Sprintf("grid: %s: %v", h.id, err))
+		}
+		h.env.stats.Restores++
+	case !h.hasWork:
+		h.requestWork(now)
+	}
+	h.active = ownerPresent
+	h.phaseStart = now
+	h.scheduleFlip(now)
+	h.scheduleCompletion(now)
+	if h.env.scn.Churn {
+		end := now + h.exp(h.class.MeanOnMin)
+		h.env.sim.At(end, "power-off", func() { h.powerOff(end) })
+	}
+}
+
+// stationaryActive draws the owner's long-run presence probability.
+func (h *host) stationaryActive() bool {
+	p := h.class.MeanActiveMin / (h.class.MeanActiveMin + h.class.MeanIdleMin)
+	return h.ownerRNG.Float64() < p
+}
+
+// powerOff evicts the VM: progress since the worker's last periodic
+// checkpoint is lost, and the rest leaves the machine as an encoded
+// vmm.Checkpoint carrying the boinc progress file.
+func (h *host) powerOff(now sim.Time) {
+	h.accrue(now)
+	h.flushPhase(now)
+	h.env.stats.OnSeconds += (now - h.onStart).Seconds()
+	if h.completion != nil {
+		h.completion.Cancel()
+		h.completion = nil
+	}
+	if h.flip != nil {
+		h.flip.Cancel()
+		h.flip = nil
+	}
+	h.on = false
+	if h.hasWork && h.progress > 0 {
+		h.env.stats.Evictions++
+		every := h.wu.CheckpointEvery
+		if every < 1 {
+			every = 1
+		}
+		kept := float64(int(h.progress)/every) * float64(every)
+		h.env.stats.LostChunks += int64(h.progress - kept)
+		h.progress = kept
+	}
+	if h.hasWork {
+		h.ckpt = h.encodeCheckpoint(now)
+	}
+	back := now + h.exp(h.class.MeanOffMin)
+	h.env.sim.At(back, "power-on", func() { h.powerOn(back, true) })
+}
+
+// encodeCheckpoint captures the host's surviving state as a real VMM
+// checkpoint whose payload is the BOINC progress file.
+func (h *host) encodeCheckpoint(now sim.Time) []byte {
+	ck := &vmm.Checkpoint{
+		VMName:       h.id,
+		ProfileName:  h.env.prof.Name,
+		TakenAtHost:  now,
+		TakenAtGuest: now,
+		Payload: boinc.Progress{
+			WorkUnit:   h.wu,
+			ChunksDone: int(h.progress),
+		}.Marshal(),
+	}
+	b, err := ck.Encode()
+	if err != nil {
+		panic(fmt.Sprintf("grid: %s: encoding checkpoint: %v", h.id, err)) // plain data cannot fail
+	}
+	return b
+}
+
+// restoreCheckpoint resumes the unit carried by the held checkpoint.
+func (h *host) restoreCheckpoint() error {
+	ck, err := vmm.DecodeCheckpoint(h.ckpt)
+	if err != nil {
+		return err
+	}
+	if ck.ProfileName != h.env.prof.Name {
+		return fmt.Errorf("checkpoint from profile %s restored under %s", ck.ProfileName, h.env.prof.Name)
+	}
+	prog, err := boinc.UnmarshalProgress(ck.Payload)
+	if err != nil {
+		return err
+	}
+	h.wu = prog.WorkUnit
+	h.progress = float64(prog.ChunksDone)
+	h.hasWork = true
+	h.ckpt = nil
+	return nil
+}
+
+// scheduleFlip arms the next owner active/idle transition.
+func (h *host) scheduleFlip(now sim.Time) {
+	mean := h.class.MeanIdleMin
+	if h.active {
+		mean = h.class.MeanActiveMin
+	}
+	at := now + h.exp(mean)
+	h.flip = h.env.sim.At(at, "owner-flip", func() { h.doFlip(at) })
+}
+
+// doFlip toggles owner activity, which changes the science rate.
+func (h *host) doFlip(now sim.Time) {
+	h.flip = nil
+	h.accrue(now)
+	h.flushPhase(now)
+	h.active = !h.active
+	h.scheduleFlip(now)
+	h.scheduleCompletion(now)
+}
+
+// finalize settles accounting at the horizon for a still-powered host.
+func (h *host) finalize(now sim.Time) {
+	if !h.on {
+		return
+	}
+	h.accrue(now)
+	h.flushPhase(now)
+	h.env.stats.OnSeconds += (now - h.onStart).Seconds()
+}
+
+// exp draws an exponential duration with the given mean in minutes.
+func (h *host) exp(meanMin float64) sim.Time {
+	return sim.FromSeconds(h.ownerRNG.Exp(meanMin * 60))
+}

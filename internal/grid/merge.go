@@ -1,0 +1,119 @@
+package grid
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FleetResult is the merged outcome of every shard of one scenario.
+type FleetResult struct {
+	Scenario Scenario
+	Hosts    int
+	Envs     []*EnvStats
+}
+
+// MergeShards folds shard results (indexed by shard) into the fleet
+// result. It is a pure function of its inputs, folded in shard order,
+// so the outcome is bit-identical for any worker count.
+func MergeShards(scn Scenario, shards []*ShardResult) (*FleetResult, error) {
+	scn = scn.Normalize()
+	fr := &FleetResult{Scenario: scn}
+	byEnv := map[string]*EnvStats{}
+	for _, env := range scn.Envs {
+		st := &EnvStats{Env: env}
+		byEnv[env] = st
+		fr.Envs = append(fr.Envs, st)
+	}
+	for i, sr := range shards {
+		if sr == nil {
+			return nil, fmt.Errorf("grid: missing shard %d", i)
+		}
+		for _, st := range sr.Envs {
+			dst, ok := byEnv[st.Env]
+			if !ok {
+				return nil, fmt.Errorf("grid: shard %d reports unknown environment %q", i, st.Env)
+			}
+			dst.merge(st)
+		}
+	}
+	// Every environment sees the whole population once.
+	if len(fr.Envs) > 0 {
+		fr.Hosts = fr.Envs[0].Hosts
+	}
+	return fr, nil
+}
+
+// Header returns the one-line scenario description that precedes the
+// table.
+func (fr *FleetResult) Header() string {
+	s := fr.Scenario
+	churn := "off"
+	if s.Churn {
+		churn = "on"
+	}
+	return fmt.Sprintf("fleet: %d hosts × %d virtual minutes, policy %s, churn %s, %.0f%% faulty, seed %d",
+		fr.Hosts, s.Minutes, s.Policy, churn, s.FaultyFrac*100, s.Seed)
+}
+
+// Render returns the fleet table: per environment, the science the
+// project banked (validated units), what churn cost it (outstanding,
+// evictions, restores, rolled-back chunks), what validation caught
+// (bad, invalid, duplicates), and what the volunteers felt
+// (interactive latency percentiles).
+func (fr *FleetResult) Render() string {
+	var b strings.Builder
+	b.WriteString(fr.Header())
+	b.WriteString("\n\n")
+	fmt.Fprintf(&b, "%-14s %9s %6s %4s %7s %4s %6s %8s %10s %7s %8s %7s %7s\n",
+		"environment", "validated", "outst", "bad", "invalid", "dup",
+		"evict", "restores", "lost-chnk", "avail%", "active%", "p50ms", "p95ms")
+	for _, st := range fr.Envs {
+		horizon := float64(fr.Scenario.Minutes) * 60 * float64(st.Hosts)
+		avail := 0.0
+		if horizon > 0 {
+			avail = 100 * st.OnSeconds / horizon
+		}
+		activePct := 0.0
+		if st.OnSeconds > 0 {
+			activePct = 100 * st.ActiveSeconds / st.OnSeconds
+		}
+		fmt.Fprintf(&b, "%-14s %9d %6d %4d %7d %4d %6d %8d %10d %7.1f %8.1f %7.1f %7.1f\n",
+			st.Env, st.Policy.Validated, st.Policy.Outstanding, st.Policy.Bad,
+			st.Policy.Invalid, st.Policy.Duplicates, st.Evictions, st.Restores,
+			st.LostChunks, avail, activePct,
+			st.Latency.Percentile(0.50), st.Latency.Percentile(0.95))
+	}
+	return b.String()
+}
+
+// CSVHeader is the fleet CSV header row. The leading variant column
+// distinguishes rows when several scenarios (e.g. a policy comparison)
+// share one artifact.
+func CSVHeader() string {
+	return "variant,env,hosts,units_issued,assignments,returned,validated,outstanding,bad,invalid,duplicates,evictions,restores,lost_chunks,on_seconds,active_seconds,p50_ms,p95_ms\n"
+}
+
+// CSVRows returns the fleet's data rows labelled with variant; an
+// empty variant defaults to the scenario's policy name, so rows are
+// always distinguishable.
+func (fr *FleetResult) CSVRows(variant string) string {
+	if variant == "" {
+		variant = fr.Scenario.Policy
+	}
+	var b strings.Builder
+	for _, st := range fr.Envs {
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f,%.1f,%.3f,%.3f\n",
+			variant, st.Env, st.Hosts, st.Policy.UnitsIssued, st.Policy.Assignments,
+			st.Policy.Returned, st.Policy.Validated, st.Policy.Outstanding,
+			st.Policy.Bad, st.Policy.Invalid, st.Policy.Duplicates,
+			st.Evictions, st.Restores, st.LostChunks,
+			st.OnSeconds, st.ActiveSeconds,
+			st.Latency.Percentile(0.50), st.Latency.Percentile(0.95))
+	}
+	return b.String()
+}
+
+// CSV returns the machine-readable form of a standalone fleet table.
+func (fr *FleetResult) CSV() string {
+	return CSVHeader() + fr.CSVRows("")
+}

@@ -1,0 +1,243 @@
+package grid
+
+import (
+	"fmt"
+
+	"vmdg/internal/boinc"
+	"vmdg/internal/sim"
+)
+
+// resultSpace is the range of surrogate result values, matching the
+// FFT bin count of the real Einstein worker.
+const resultSpace = 4096
+
+// resultFor is the ground-truth result of a work unit: a cheap
+// deterministic surrogate for the FFT peak bin (see the package
+// comment for why the fleet does not run the real transform).
+func resultFor(wu boinc.WorkUnit) int {
+	return int(splitmix(wu.Seed^0xe1a57e1a) % resultSpace)
+}
+
+// PolicyStats aggregates what a policy did over one shard.
+type PolicyStats struct {
+	// UnitsIssued counts distinct work units generated; Assignments
+	// counts replicas handed out (equal under fifo).
+	UnitsIssued int
+	Assignments int
+	// Returned counts results received; Validated counts units with an
+	// accepted canonical result.
+	Returned  int
+	Validated int
+	// Bad counts canonical results that differ from ground truth —
+	// corrupted results the policy failed to filter.
+	Bad int
+	// Invalid counts reports rejected against an established quorum
+	// (replication policy only).
+	Invalid int
+	// Duplicates counts redundant results for already-decided units
+	// (the waste a deadline reissue can cause).
+	Duplicates int
+	// Outstanding counts units issued but never validated.
+	Outstanding int
+}
+
+// add folds other into s field-wise (for cross-shard merging).
+func (s *PolicyStats) add(other PolicyStats) {
+	s.UnitsIssued += other.UnitsIssued
+	s.Assignments += other.Assignments
+	s.Returned += other.Returned
+	s.Validated += other.Validated
+	s.Bad += other.Bad
+	s.Invalid += other.Invalid
+	s.Duplicates += other.Duplicates
+	s.Outstanding += other.Outstanding
+}
+
+// Policy is a pluggable server-side scheduling discipline. A policy
+// instance serves one shard's population and must be deterministic in
+// its call sequence (the event loop guarantees the sequence itself is
+// deterministic).
+type Policy interface {
+	// Name identifies the policy ("fifo", "deadline", "replication").
+	Name() string
+	// Assign hands the requesting host a work unit.
+	Assign(host string, now sim.Time) boinc.WorkUnit
+	// Submit records a returned result.
+	Submit(host string, wu boinc.WorkUnit, result int, now sim.Time)
+	// Stats summarizes the shard when the horizon is reached.
+	Stats() PolicyStats
+}
+
+// newPolicy constructs the scenario's policy for one shard. prefix
+// namespaces unit IDs per (shard, environment); seedBase namespaces
+// unit seeds.
+func newPolicy(scn Scenario, prefix string, seedBase uint64) Policy {
+	gen := unitGen{prefix: prefix, seedBase: seedBase, chunks: scn.ChunksPerUnit}
+	switch scn.Policy {
+	case "fifo":
+		return &fifoPolicy{gen: gen}
+	case "deadline":
+		return &deadlinePolicy{
+			gen:   gen,
+			slack: sim.FromSeconds(scn.DeadlineMin * 60),
+			byID:  map[string]*deadlineUnit{},
+		}
+	case "replication":
+		return &quorumPolicy{
+			p:      boinc.NewProject(prefix, scn.Replication, scn.ChunksPerUnit, seedBase),
+			issued: map[string]boinc.WorkUnit{},
+		}
+	default:
+		panic(fmt.Sprintf("grid: unknown policy %q", scn.Policy)) // Validate rejects earlier
+	}
+}
+
+// unitGen mints sequential work units the way boinc.Project does, for
+// the policies that do not wrap a Project.
+type unitGen struct {
+	prefix   string
+	seedBase uint64
+	chunks   int
+	next     int
+}
+
+func (g *unitGen) gen() boinc.WorkUnit {
+	i := g.next
+	g.next++
+	return boinc.MintUnit(g.prefix, i, g.seedBase, g.chunks)
+}
+
+// fifoPolicy issues each unit exactly once, in order, and accepts the
+// first (only) result as canonical. Units held by hosts that never
+// return stay outstanding forever — the weakness the deadline policy
+// exists to fix.
+type fifoPolicy struct {
+	gen unitGen
+	st  PolicyStats
+}
+
+func (p *fifoPolicy) Name() string { return "fifo" }
+
+func (p *fifoPolicy) Assign(host string, now sim.Time) boinc.WorkUnit {
+	p.st.UnitsIssued++
+	p.st.Assignments++
+	return p.gen.gen()
+}
+
+func (p *fifoPolicy) Submit(host string, wu boinc.WorkUnit, result int, now sim.Time) {
+	p.st.Returned++
+	p.st.Validated++
+	if result != resultFor(wu) {
+		p.st.Bad++
+	}
+}
+
+func (p *fifoPolicy) Stats() PolicyStats {
+	st := p.st
+	st.Outstanding = st.UnitsIssued - st.Validated
+	return st
+}
+
+// deadlineUnit is one unit's server-side record under the deadline
+// policy.
+type deadlineUnit struct {
+	wu       boinc.WorkUnit
+	deadline sim.Time
+	done     bool
+}
+
+// deadlinePolicy stamps every assignment with a deadline and reissues
+// overdue units before minting fresh ones, so work held by churned-off
+// volunteers is not lost — at the cost of duplicate results when the
+// original host eventually returns.
+type deadlinePolicy struct {
+	gen   unitGen
+	slack sim.Time
+	units []*deadlineUnit // issue order
+	byID  map[string]*deadlineUnit
+	scan  int // units[:scan] are all done
+	st    PolicyStats
+}
+
+func (p *deadlinePolicy) Name() string { return "deadline" }
+
+func (p *deadlinePolicy) Assign(host string, now sim.Time) boinc.WorkUnit {
+	for p.scan < len(p.units) && p.units[p.scan].done {
+		p.scan++
+	}
+	for _, u := range p.units[p.scan:] {
+		if !u.done && u.deadline <= now {
+			u.deadline = now + p.slack
+			p.st.Assignments++
+			return u.wu
+		}
+	}
+	wu := p.gen.gen()
+	u := &deadlineUnit{wu: wu, deadline: now + p.slack}
+	p.units = append(p.units, u)
+	p.byID[wu.ID] = u
+	p.st.UnitsIssued++
+	p.st.Assignments++
+	return wu
+}
+
+func (p *deadlinePolicy) Submit(host string, wu boinc.WorkUnit, result int, now sim.Time) {
+	p.st.Returned++
+	u := p.byID[wu.ID]
+	if u.done {
+		p.st.Duplicates++
+		return
+	}
+	u.done = true
+	p.st.Validated++
+	if result != resultFor(wu) {
+		p.st.Bad++
+	}
+}
+
+func (p *deadlinePolicy) Stats() PolicyStats {
+	st := p.st
+	st.Outstanding = st.UnitsIssued - st.Validated
+	return st
+}
+
+// quorumPolicy is N-way replication with quorum validation, wrapping
+// boinc.Project: a unit is canonical once Replication volunteers
+// agree, and disagreeing reports are counted invalid.
+type quorumPolicy struct {
+	p      *boinc.Project
+	issued map[string]boinc.WorkUnit
+	order  []string // first-issue order, for deterministic stats
+	st     PolicyStats
+}
+
+func (p *quorumPolicy) Name() string { return "replication" }
+
+func (p *quorumPolicy) Assign(host string, now sim.Time) boinc.WorkUnit {
+	wu := p.p.RequestWork(host)
+	if _, seen := p.issued[wu.ID]; !seen {
+		p.issued[wu.ID] = wu
+		p.order = append(p.order, wu.ID)
+	}
+	p.st.Assignments++
+	return wu
+}
+
+func (p *quorumPolicy) Submit(host string, wu boinc.WorkUnit, result int, now sim.Time) {
+	p.st.Returned++
+	p.p.SubmitResult(host, wu.ID, result)
+}
+
+func (p *quorumPolicy) Stats() PolicyStats {
+	st := p.st
+	st.UnitsIssued = len(p.order)
+	st.Validated = p.p.Validated()
+	st.Invalid = p.p.Invalid()
+	st.Outstanding = p.p.Outstanding()
+	for _, id := range p.order {
+		if v, ok := p.p.Canonical(id); ok && v != resultFor(p.issued[id]) {
+			st.Bad++
+		}
+	}
+	return st
+}

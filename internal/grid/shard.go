@@ -1,0 +1,158 @@
+package grid
+
+import (
+	"fmt"
+
+	"vmdg/internal/boinc"
+	"vmdg/internal/sim"
+	"vmdg/internal/vmm"
+)
+
+// EnvStats is the aggregate outcome of one environment over one (or,
+// after merging, every) shard. All fields are plain sums or fixed-bin
+// histograms, so merging shard stats in shard order is deterministic.
+type EnvStats struct {
+	Env   string
+	Hosts int
+
+	Policy PolicyStats
+
+	// Evictions counts VMs powered off mid-unit; Restores counts
+	// checkpoint restorations on return; LostChunks is science rolled
+	// back to the last periodic checkpoint.
+	Evictions  int
+	Restores   int
+	LostChunks int64
+
+	// OnSeconds and ActiveSeconds accumulate host power-on time and
+	// owner-active time across the population.
+	OnSeconds     float64
+	ActiveSeconds float64
+
+	// Latency is the interactive-burst latency distribution while
+	// owners were active (the paper's intrusiveness metric).
+	Latency Histogram
+
+	// Fired counts simulator events, a determinism probe.
+	Fired uint64
+}
+
+// merge folds other (the same environment from another shard) into s.
+func (s *EnvStats) merge(other *EnvStats) {
+	s.Hosts += other.Hosts
+	s.Policy.add(other.Policy)
+	s.Evictions += other.Evictions
+	s.Restores += other.Restores
+	s.LostChunks += other.LostChunks
+	s.OnSeconds += other.OnSeconds
+	s.ActiveSeconds += other.ActiveSeconds
+	s.Latency.Merge(&other.Latency)
+	s.Fired += other.Fired
+}
+
+// ShardResult is the JSON-serializable payload of one shard: one
+// (environment, population slice) cell. Envs is a slice for merge
+// symmetry with the fleet result; RunShard fills exactly one entry.
+type ShardResult struct {
+	Shard int
+	Hosts int
+	Envs  []*EnvStats
+}
+
+// envShard bundles the per-(shard, environment) loop state the host
+// state machines mutate.
+type envShard struct {
+	scn    Scenario
+	prof   vmm.Profile
+	sim    *sim.Simulator
+	policy Policy
+	stats  *EnvStats
+}
+
+// RunShard simulates shard i of the scenario: one environment over one
+// slice of the population (shards enumerate environments in scenario
+// order, population slices within each). It is a pure function of
+// (scn, shard) — the contract the engine's content-keyed cache relies
+// on.
+func RunShard(scn Scenario, shard int) (*ShardResult, error) {
+	scn = scn.Normalize()
+	if err := scn.Validate(); err != nil {
+		return nil, err
+	}
+	if shard < 0 || shard >= scn.Shards() {
+		return nil, fmt.Errorf("grid: shard %d outside [0, %d)", shard, scn.Shards())
+	}
+	n := scn.popShards()
+	prof := scn.envProfiles()[shard/n]
+	slice := shard % n
+	lo, hi := scn.HostRange(slice)
+	st, err := runEnvShard(scn, prof, slice, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardResult{Shard: shard, Hosts: hi - lo, Envs: []*EnvStats{st}}, nil
+}
+
+// runEnvShard runs one environment's event loop over hosts [lo, hi).
+func runEnvShard(scn Scenario, prof vmm.Profile, shard, lo, hi int) (*EnvStats, error) {
+	classes := Classes()
+	s := sim.New()
+	horizon := sim.Time(scn.Minutes) * 60 * sim.Second
+	prefix := fmt.Sprintf("s%03d-%s", shard, prof.Name)
+	env := &envShard{
+		scn:    scn,
+		prof:   prof,
+		sim:    s,
+		policy: newPolicy(scn, prefix, envSeed(scn.Seed, prof.Name, -1-shard)),
+		stats:  &EnvStats{Env: prof.Name, Hosts: hi - lo},
+	}
+
+	every := boinc.CheckpointCadence(scn.ChunksPerUnit)
+	hosts := make([]*host, 0, hi-lo)
+	for g := lo; g < hi; g++ {
+		class := classFor(classes, scn.Seed, g)
+		cal, err := calibrationFor(class, prof, scn.Seed, every, scn.Quick)
+		if err != nil {
+			return nil, err
+		}
+		h := &host{
+			env:      env,
+			id:       fmt.Sprintf("h%06d", g),
+			class:    class,
+			cal:      cal,
+			ownerRNG: sim.NewRNG(hostSeed(scn.Seed, g)),
+			envRNG:   sim.NewRNG(envSeed(scn.Seed, prof.Name, g)),
+		}
+		h.faulty = h.ownerRNG.Float64() < scn.FaultyFrac
+		hosts = append(hosts, h)
+
+		if !scn.Churn {
+			h.powerOn(0, h.stationaryActive())
+			continue
+		}
+		// Stationary start: on with the class's long-run availability
+		// (owner present per their long-run presence), otherwise
+		// returning after a residual off-gap.
+		pOn := class.MeanOnMin / (class.MeanOnMin + class.MeanOffMin)
+		if h.ownerRNG.Float64() < pOn {
+			h.powerOn(0, h.stationaryActive())
+		} else {
+			back := h.exp(class.MeanOffMin)
+			h.sched(back, "power-on", func(at sim.Time) { h.powerOn(at, true) })
+		}
+	}
+
+	s.RunUntil(horizon)
+	for _, h := range hosts {
+		h.finalize(horizon)
+	}
+	env.stats.Policy = env.policy.Stats()
+	env.stats.Fired = s.Fired()
+	return env.stats, nil
+}
+
+// sched is a small helper so initial power-ons read like the host's
+// own event scheduling.
+func (h *host) sched(at sim.Time, label string, fn func(sim.Time)) {
+	h.env.sim.At(at, label, func() { fn(at) })
+}

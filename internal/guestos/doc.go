@@ -1,0 +1,12 @@
+// Package guestos models the Linux guest of the paper: a small kernel that
+// multiplexes guest threads onto a single virtual CPU, a page-cache
+// filesystem over a block device, and a TCP/UDP network stack over a
+// virtual NIC.
+//
+// The kernel implements cost.Program: its Next method emits the vCPU's
+// instruction stream (compute steps, device commands, halts) *before* VMM
+// cost expansion. The same kernel therefore serves both the native baseline
+// (expansion 1, devices backed directly by hardware) and every virtualized
+// environment (expansion per profile, devices emulated) — exactly the
+// paper's methodology of running one Ubuntu image everywhere.
+package guestos

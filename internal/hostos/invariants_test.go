@@ -261,3 +261,56 @@ func TestAffinityIdleCoreRespected(t *testing.T) {
 		t.Fatal("pinned thread starved entirely; rotation on its core never happened")
 	}
 }
+
+// TestParkedThreadDoesNotStarveHigherPriorityReady: on a single-core
+// machine, an idle-priority thread repeatedly parked by a hinted
+// AboveNormal duty cycle (the VMM service pattern) must not reclaim the
+// core past normal-priority ready work. Regression test for the
+// single-core volunteer-host starvation fixed in fillCore.
+func TestParkedThreadDoesNotStarveHigherPriorityReady(t *testing.T) {
+	s := sim.New()
+	m, err := hw.NewMachine(s, hw.Config{CPU: hw.CPU{Cores: 1, FreqHz: 2.4e9, BusK: 0.45}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Boot(m)
+
+	vcpu := o.NewProcess("vm")
+	idle := o.Spawn(vcpu, "vcpu", PrioIdle, cost.Loop(&cost.Profile{Name: "v", Steps: []cost.Step{
+		{Kind: cost.StepCompute, Cycles: 1e7, Mix: cost.Mix{Int: 1}},
+	}}))
+
+	// The service duty cycle: 13.6 ms of work then 6.4 ms of sleep at
+	// AboveNormal, always preferring the vCPU's core.
+	svc := o.NewProcess("svc")
+	duty := cost.Loop(&cost.Profile{Name: "d", Steps: []cost.Step{
+		{Kind: cost.StepCompute, Cycles: 0.0136 * 2.4e9, Mix: cost.Mix{Int: 1}},
+		{Kind: cost.StepSleep, Dur: 6400 * sim.Microsecond},
+	}})
+	th := o.SpawnWithHandler(svc, "svc", PrioAboveNormal, duty, nil)
+	th.VictimHint = func() int {
+		if idle.Running() {
+			return idle.Core()
+		}
+		return -1
+	}
+
+	// The owner's normal-priority burst: 40 ms of compute, issued after
+	// the park/unpark cycle is in full swing.
+	user := o.NewProcess("user")
+	finished := sim.Time(-1)
+	s.After(100*sim.Millisecond, "spawn-burst", func() {
+		b := o.Spawn(user, "burst", PrioNormal, (&cost.Profile{Name: "b", Steps: []cost.Step{
+			{Kind: cost.StepCompute, Cycles: 0.040 * 2.4e9, Mix: cost.Mix{Int: 1}},
+		}}).Iter())
+		b.OnExit = func() { finished = s.Now() }
+	})
+	o.RunFor(2 * sim.Second)
+	if finished < 0 {
+		t.Fatal("normal-priority burst starved behind the parked idle thread")
+	}
+	o.Settle()
+	if idle.CyclesDone() == 0 {
+		t.Fatal("idle thread never ran at all")
+	}
+}

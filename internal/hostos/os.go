@@ -366,15 +366,22 @@ func (o *OS) undispatch(core int, preempt bool) {
 }
 
 // fillCore dispatches the highest-priority ready thread onto a free core.
-// A thread parked by a hinted preemption reclaims its core first.
+// A thread parked by a hinted preemption reclaims its core first — ahead
+// of its own priority queue, but not past strictly higher-priority ready
+// work: on a single-core machine an idle-priority vCPU parked by its VMM
+// service thread would otherwise monopolize the core while the owner's
+// normal-priority work starved in the ready queue.
 func (o *OS) fillCore(core int) {
 	if o.cores[core].t != nil {
 		return
 	}
 	if v := o.cores[core].parked; v != nil {
 		o.cores[core].parked = nil
-		o.dispatch(v, core)
-		return
+		if !o.hasReadyAbove(v.Prio, core) {
+			o.dispatch(v, core)
+			return
+		}
+		o.ready[v.Prio] = append([]*Thread{v}, o.ready[v.Prio]...) // front: keeps its turn
 	}
 	for p := numPrio - 1; p >= 0; p-- {
 		q := o.ready[p]
@@ -387,6 +394,15 @@ func (o *OS) fillCore(core int) {
 			return
 		}
 	}
+}
+
+// hasReadyAbove reports whether a ready thread of priority strictly
+// above p whose affinity admits the given core is waiting.
+func (o *OS) hasReadyAbove(p Priority, core int) bool {
+	if p+1 >= numPrio {
+		return false
+	}
+	return o.hasReadyAtLeastFor(p+1, core)
 }
 
 // hasReadyAtLeastFor reports whether a ready thread of priority ≥ p whose

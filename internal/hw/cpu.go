@@ -1,14 +1,3 @@
-// Package hw models the physical machine of the paper's testbed: a dual
-// core CPU (Core 2 Duo 6600 @ 2.40 GHz) with a shared L2/front-side bus, a
-// commodity SATA disk, a 100 Mbps Fast Ethernet NIC, and 1 GB of RAM.
-//
-// The CPU uses a fluid-rate model: threads do not execute instructions one
-// by one; instead each runnable thread dispatched on a core progresses at a
-// rate (cycles/second) that depends on what the *other* core is doing.
-// Contention on the shared memory hierarchy is the paper's explanation for
-// why two 7z threads only reach 180% of one core, and for the small MEM
-// index overhead in Figure 5 — so it is the one micro-architectural effect
-// we model explicitly.
 package hw
 
 import "fmt"

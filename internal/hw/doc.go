@@ -1,0 +1,19 @@
+// Package hw models the physical machine of the paper's testbed: a dual
+// core CPU (Core 2 Duo 6600 @ 2.40 GHz) with a shared L2/front-side bus, a
+// commodity SATA disk, a 100 Mbps Fast Ethernet NIC, and 1 GB of RAM.
+// The fleet simulation (internal/grid) also instantiates single-core,
+// quad-core, and laptop-class variants of the same model for its
+// heterogeneous volunteer populations.
+//
+// The CPU uses a fluid-rate model: threads do not execute instructions one
+// by one; instead each runnable thread dispatched on a core progresses at a
+// rate (cycles/second) that depends on what the *other* core is doing.
+// Contention on the shared memory hierarchy is the paper's explanation for
+// why two 7z threads only reach 180% of one core, and for the small MEM
+// index overhead in Figure 5 — so it is the one micro-architectural effect
+// we model explicitly.
+//
+// RAM is tracked as an explicit commit budget: a system-level VMM pins its
+// configured guest memory at power-on (§4.2.1), so over-commit is a
+// configuration error here, not a swap event.
+package hw

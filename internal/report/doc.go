@@ -1,0 +1,6 @@
+// Package report renders experiment results as the paper presents them:
+// bar charts (one bar per environment) and per-size series, in ASCII for
+// the terminal plus CSV for downstream plotting. Rendering is pure
+// formatting over stable row orders, so reports are bit-identical across
+// runs — the property the engine's determinism tests assert through.
+package report

@@ -1,6 +1,3 @@
-// Package report renders experiment results as the paper presents them:
-// bar charts (one bar per environment) and per-size series, in ASCII for
-// the terminal plus CSV for downstream plotting.
 package report
 
 import (

@@ -1,0 +1,26 @@
+// Package vmm models the system-level virtual machine monitors the
+// paper evaluates (VMware Player, QEMU+KQEMU, VirtualBox, VirtualPC):
+// the machinery that turns a guest kernel's instruction stream into
+// host work.
+//
+// A VM couples four mechanisms, each with a calibrated Profile knob:
+//
+//   - Execution expansion: guest compute cycles widen per class
+//     (integer, FP, memory, kernel) as they pass through binary
+//     translation or emulation.
+//   - Device emulation: virtual disk and NIC commands pay per-op
+//     latency and inject host-side emulation cycles into the vCPU
+//     stream; images can be raw or copy-on-write overlays.
+//   - Host-side service footprint: a duty cycle of elevated-priority
+//     host threads that exists while the VM is powered on — the
+//     paper's central intrusiveness mechanism, since it does not
+//     inherit the idle priority a volunteer assigns to the VM.
+//   - Guest clock drift: timer ticks lost while the vCPU is
+//     descheduled make in-guest timing unreliable (§4), motivating the
+//     external UDP timing methodology.
+//
+// Checkpoints capture a VM's durable state — the copy-on-write overlay
+// plus an opaque workload payload — for save/restore and migration;
+// the desktop-grid fleet (internal/grid) uses them to survive
+// volunteer churn.
+package vmm

@@ -141,10 +141,17 @@ func All() []vmm.Profile {
 	return []vmm.Profile{VMwarePlayer(), QEMU(), VirtualBox(), VirtualPC()}
 }
 
+// Named returns every resolvable profile: the four environments of All
+// plus VMwarePlayerNAT and Native. ByName resolves exactly this set,
+// so error messages built from Named never drift from it.
+func Named() []vmm.Profile {
+	return append(All(), VMwarePlayerNAT(), Native())
+}
+
 // ByName resolves a profile by its Name field (including "native" and
 // "vmplayer-nat"); it returns false for unknown names.
 func ByName(name string) (vmm.Profile, bool) {
-	for _, p := range append(All(), VMwarePlayerNAT(), Native()) {
+	for _, p := range Named() {
 		if p.Name == name {
 			return p, true
 		}
