@@ -1,0 +1,80 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"vmdg/internal/engine"
+)
+
+// cmdCache inspects and maintains the on-disk shard cache. Without
+// flags it prints the cache location and contents; -prune applies the
+// retention caps and -clear empties it.
+func cmdCache(args []string) error {
+	fs := flag.NewFlagSet("dgrid cache", flag.ExitOnError)
+	dir := fs.String("dir", "", "cache directory (default: the user cache dir)")
+	prune := fs.Bool("prune", false, "apply the retention caps now")
+	maxAge := fs.Duration("max-age", engine.DefaultMaxAge, "with -prune: remove entries older than this (0 = no age cap)")
+	maxBytes := fs.Int64("max-bytes", engine.DefaultMaxBytes, "with -prune: keep at most this many payload bytes (oldest removed first; 0 = no cap)")
+	clear := fs.Bool("clear", false, "remove every cache entry")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v (cache takes flags only)", fs.Args())
+	}
+	if *clear && *prune {
+		return fmt.Errorf("-clear and -prune are mutually exclusive")
+	}
+
+	path := *dir
+	if path == "" {
+		var err error
+		if path, err = engine.DefaultCacheDir(); err != nil {
+			return fmt.Errorf("resolving cache dir (use -dir): %w", err)
+		}
+	}
+	fc, err := engine.NewFileCache(path)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case *clear:
+		removed, freed, err := fc.Clear()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cleared %d entries (%s) from %s\n", removed, formatBytes(freed), fc.Dir())
+	case *prune:
+		removed, freed, err := fc.Prune(*maxAge, *maxBytes)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pruned %d entries (%s) from %s\n", removed, formatBytes(freed), fc.Dir())
+	}
+
+	st, err := fc.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cache %s: %d entries, %s", fc.Dir(), st.Entries, formatBytes(st.Bytes))
+	if st.Entries > 0 {
+		fmt.Printf(", oldest %s ago", time.Since(st.Oldest).Round(time.Minute))
+	}
+	fmt.Println()
+	return nil
+}
+
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"vmdg/internal/core"
 	"vmdg/internal/engine"
@@ -46,6 +47,9 @@ func cmdFleet(args []string) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %v (fleet takes flags only, e.g. -machines 10000)", fs.Args())
 	}
+	if err := validateFleetFlags(*machines, *minutes, *replication, *policy); err != nil {
+		return err
+	}
 
 	scn := grid.Scenario{
 		Machines:    *machines,
@@ -59,7 +63,9 @@ func cmdFleet(args []string) error {
 	if *env != "" {
 		scn.Envs = []string{*env}
 	}
-	// Validate rejects unknown environments with the valid name list.
+	// Validate rejects unknown environments with the valid name list,
+	// oversized populations/horizons, and replication beyond the
+	// population.
 	if err := scn.Validate(); err != nil {
 		return err
 	}
@@ -67,6 +73,9 @@ func cmdFleet(args []string) error {
 	runner, err := newRunner(*workers, *cache, *verbose)
 	if err != nil {
 		return err
+	}
+	if !*verbose {
+		runner.ShardDone = progressLine("fleet")
 	}
 	cfg := core.Config{Seed: *seed, Quick: *quick}
 	exp := engine.FleetScenario("fleet", "command-line fleet scenario", scn)
@@ -90,4 +99,46 @@ func cmdFleet(args []string) error {
 	}
 	summarize(stats)
 	return nil
+}
+
+// validateFleetFlags rejects out-of-range flag values before scenario
+// normalization can paper over them, with messages that state the valid
+// range. The replication bound applies only to the replication policy —
+// the flag's default is inert elsewhere. Scenario.Validate re-checks
+// the upper bounds (and replication against the population) after
+// normalization.
+func validateFleetFlags(machines, minutes, replication int, policy string) error {
+	if machines < 1 || machines > grid.MaxMachines {
+		return fmt.Errorf("-machines %d outside the valid range [1, %d]", machines, grid.MaxMachines)
+	}
+	if minutes < 1 || minutes > grid.MaxMinutes {
+		return fmt.Errorf("-minutes %d outside the valid range [1, %d]", minutes, grid.MaxMinutes)
+	}
+	if policy == "replication" && (replication < 1 || replication > machines) {
+		return fmt.Errorf("-replication %d outside the valid range [1, %d] (cannot exceed -machines)", replication, machines)
+	}
+	return nil
+}
+
+// progressLine returns a ShardDone hook that keeps one stderr line
+// updated while a big fleet computes. Output is throttled (~10 Hz) and
+// goes to stderr only, so stdout stays bit-identical across worker
+// counts; the line is erased once the run completes.
+func progressLine(what string) func(done, total int) {
+	var last time.Time
+	return func(done, total int) {
+		if total < 32 {
+			return // small runs finish before a line is worth drawing
+		}
+		now := time.Now()
+		if done < total && now.Sub(last) < 100*time.Millisecond {
+			return
+		}
+		last = now
+		if done < total {
+			fmt.Fprintf(os.Stderr, "\rdgrid: %s %d/%d shards", what, done, total)
+		} else {
+			fmt.Fprintf(os.Stderr, "\r%*s\r", len(what)+len("dgrid:  / shards")+14, "")
+		}
+	}
 }

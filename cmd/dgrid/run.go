@@ -60,6 +60,13 @@ func newRunner(workers int, cache string, verbose bool) (*engine.Runner, error) 
 			return nil, err
 		}
 	}
+	// Keep the on-disk cache inside its retention caps on every run —
+	// stale builds' entries never hit again (the key embeds the build
+	// fingerprint), so without this the directory only ever grows.
+	// Best-effort: a prune failure is at worst future cache misses.
+	if fc, ok := r.Cache.(*engine.FileCache); ok {
+		fc.Prune(engine.DefaultMaxAge, engine.DefaultMaxBytes)
+	}
 	if verbose {
 		r.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "dgrid: "+format+"\n", args...)

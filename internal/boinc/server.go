@@ -1,9 +1,6 @@
 package boinc
 
-import (
-	"fmt"
-	"sort"
-)
+import "sort"
 
 // Project is a BOINC-style project server: it generates work units,
 // hands out replicas to volunteers, and validates returned results by
@@ -71,15 +68,44 @@ func CheckpointCadence(chunks int) int {
 // (internal/grid's non-replicating policies).
 func MintUnit(project string, i int, seedBase uint64, chunks int) WorkUnit {
 	return WorkUnit{
-		ID:              fmt.Sprintf("%s-wu-%06d", project, i),
+		ID:              mintID(project, i),
 		Seed:            seedBase + uint64(i),
 		Chunks:          chunks,
 		CheckpointEvery: CheckpointCadence(chunks),
 	}
 }
 
+// AppendPaddedIndex appends i in decimal, zero-padded to at least six
+// digits (wider values grow to the left) — the fixed-width convention
+// unit IDs and internal/grid's host IDs share. Hand-rolled because a
+// fleet formats hundreds of millions of these and fmt's reflection is
+// the dominant cost of Sprintf at that volume.
+func AppendPaddedIndex(b []byte, i int) []byte {
+	digits := 6
+	for v := i; v >= 1_000_000; v /= 10 {
+		digits++
+	}
+	n := len(b)
+	for j := 0; j < digits; j++ {
+		b = append(b, '0')
+	}
+	for d := digits - 1; d >= 0; d-- {
+		b[n+d] = byte('0' + i%10)
+		i /= 10
+	}
+	return b
+}
+
+// mintID formats "<project>-wu-%06d" via AppendPaddedIndex.
+func mintID(project string, i int) string {
+	b := make([]byte, 0, len(project)+4+8)
+	b = append(b, project...)
+	b = append(b, "-wu-"...)
+	return string(AppendPaddedIndex(b, i))
+}
+
 // unitID formats the id of the i-th generated unit.
-func (p *Project) unitID(i int) string { return fmt.Sprintf("%s-wu-%06d", p.Name, i) }
+func (p *Project) unitID(i int) string { return mintID(p.Name, i) }
 
 // unitFor reconstructs the deterministic work unit for an index.
 func (p *Project) unitFor(i int) WorkUnit {

@@ -7,7 +7,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"time"
 
 	"vmdg/internal/core"
 )
@@ -15,7 +17,13 @@ import (
 // cacheVersion invalidates every cached shard when the experiment
 // definitions change shape. Bump it when a shard's payload layout or the
 // meaning of a shard index changes.
-const cacheVersion = "v2"
+//
+// v3: fleet shards switched to aggregate burst sampling — the latency
+// histogram is now settled by per-host multinomials and the event
+// kernel fires a different (smaller) event count, so Latency and Fired
+// in cached EnvStats payloads are not comparable with v2 entries even
+// though the JSON shape is unchanged.
+const cacheVersion = "v3"
 
 // buildFingerprint identifies the binary that produced a shard payload,
 // so entries written by one build never serve another: any change to
@@ -147,4 +155,122 @@ func (c *FileCache) Put(key string, payload []byte) {
 	if err := os.Rename(name, dst); err != nil {
 		os.Remove(name)
 	}
+}
+
+// Dir returns the cache directory.
+func (c *FileCache) Dir() string { return c.dir }
+
+// Default retention caps: entries older than DefaultMaxAge, or beyond
+// DefaultMaxBytes of total payload (oldest first), are pruned. A
+// million-host fleet writes a few thousand shard files per scenario, so
+// without a cap the cache directory grows without bound across builds
+// (every new binary re-keys everything it computes).
+const (
+	DefaultMaxAge   = 30 * 24 * time.Hour
+	DefaultMaxBytes = 1 << 30 // 1 GiB
+)
+
+// CacheStats describes the on-disk cache contents.
+type CacheStats struct {
+	Entries int
+	Bytes   int64
+	Oldest  time.Time // zero when empty
+	Newest  time.Time
+}
+
+// Stats scans the cache directory.
+func (c *FileCache) Stats() (CacheStats, error) {
+	var st CacheStats
+	entries, err := c.entries()
+	if err != nil {
+		return st, err
+	}
+	for _, e := range entries {
+		st.Entries++
+		st.Bytes += e.size
+		if st.Oldest.IsZero() || e.mod.Before(st.Oldest) {
+			st.Oldest = e.mod
+		}
+		if e.mod.After(st.Newest) {
+			st.Newest = e.mod
+		}
+	}
+	return st, nil
+}
+
+// Prune removes entries older than maxAge and then, oldest first,
+// entries beyond maxBytes of total payload. Zero (or negative) caps
+// mean "no cap" for that dimension. It reports what it removed. Prune
+// is safe to run concurrently with readers and writers: a pruned entry
+// is just a future cache miss.
+func (c *FileCache) Prune(maxAge time.Duration, maxBytes int64) (removed int, freed int64, err error) {
+	entries, err := c.entries()
+	if err != nil {
+		return 0, 0, err
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mod.Before(entries[j].mod) })
+	var total int64
+	for _, e := range entries {
+		total += e.size
+	}
+	cutoff := time.Now().Add(-maxAge)
+	for _, e := range entries {
+		tooOld := maxAge > 0 && e.mod.Before(cutoff)
+		tooBig := maxBytes > 0 && total > maxBytes
+		if !tooOld && !tooBig {
+			break // entries are oldest-first; the rest are younger and under budget
+		}
+		if os.Remove(e.path) == nil {
+			removed++
+			freed += e.size
+			total -= e.size // an entry that survived removal still counts against the cap
+		}
+	}
+	return removed, freed, nil
+}
+
+// Clear removes every entry.
+func (c *FileCache) Clear() (removed int, freed int64, err error) {
+	entries, err := c.entries()
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, e := range entries {
+		if os.Remove(e.path) == nil {
+			removed++
+			freed += e.size
+		}
+	}
+	return removed, freed, nil
+}
+
+type cacheEntry struct {
+	path string
+	size int64
+	mod  time.Time
+}
+
+// entries lists the cache's payload files (tolerating entries that
+// vanish mid-scan: concurrent runners prune too).
+func (c *FileCache) entries() ([]cacheEntry, error) {
+	dirents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, fmt.Errorf("engine: cache dir: %w", err)
+	}
+	var out []cacheEntry
+	for _, de := range dirents {
+		if de.IsDir() || filepath.Ext(de.Name()) != ".json" {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, cacheEntry{
+			path: filepath.Join(c.dir, de.Name()),
+			size: info.Size(),
+			mod:  info.ModTime(),
+		})
+	}
+	return out, nil
 }

@@ -105,23 +105,62 @@ type fleetVariantResult struct {
 	Fleet *grid.FleetResult
 }
 
-func (f fleetExperiment) Merge(cfg core.Config, shards [][]byte) (*Outcome, error) {
+// Fold returns the streaming accumulator the runner uses in place of
+// Merge: one grid.Merger per variant, fed shard results in flat shard
+// order and released immediately, so a thousand-shard fleet holds one
+// decoded shard at a time instead of all of them.
+func (f fleetExperiment) Fold(cfg core.Config) (Fold, error) {
 	vs := f.resolve(cfg)
-	payload := fleetPayload{Name: f.name}
+	fd := &fleetFold{exp: f, vs: vs, mergers: make([]*grid.Merger, len(vs))}
+	for i, v := range vs {
+		fd.mergers[i] = grid.NewMerger(v.scn)
+	}
+	return fd, nil
+}
+
+// fleetFold streams flat shard indices onto the per-variant mergers.
+type fleetFold struct {
+	exp     fleetExperiment
+	vs      []fleetVariant
+	mergers []*grid.Merger
+	next    int // next expected flat shard
+	vi      int // variant currently absorbing
+	local   int // next local shard within vs[vi]
+}
+
+func (fd *fleetFold) Absorb(shard int, payload []byte) error {
+	if shard != fd.next {
+		return fmt.Errorf("fleet shard %d absorbed out of order (want %d)", shard, fd.next)
+	}
+	fd.next++
+	for fd.vi < len(fd.vs) && fd.local >= fd.vs[fd.vi].scn.Shards() {
+		fd.vi++
+		fd.local = 0
+	}
+	if fd.vi >= len(fd.vs) {
+		total := 0
+		for _, v := range fd.vs {
+			total += v.scn.Shards()
+		}
+		return fmt.Errorf("fleet shard %d beyond the variants' %d shards", shard, total)
+	}
+	sr := &grid.ShardResult{}
+	if err := json.Unmarshal(payload, sr); err != nil {
+		return fmt.Errorf("fleet shard %d payload: %w", shard, err)
+	}
+	if err := fd.mergers[fd.vi].Absorb(fd.local, sr); err != nil {
+		return err
+	}
+	fd.local++
+	return nil
+}
+
+func (fd *fleetFold) Finish() (*Outcome, error) {
+	payload := fleetPayload{Name: fd.exp.name}
 	var text, csv strings.Builder
 	csv.WriteString(grid.CSVHeader())
-	at := 0
-	for _, v := range vs {
-		n := v.scn.Shards()
-		parts := make([]*grid.ShardResult, n)
-		for i := 0; i < n; i++ {
-			parts[i] = &grid.ShardResult{}
-			if err := json.Unmarshal(shards[at+i], parts[i]); err != nil {
-				return nil, fmt.Errorf("fleet shard %d payload: %w", at+i, err)
-			}
-		}
-		at += n
-		fr, err := grid.MergeShards(v.scn, parts)
+	for i, v := range fd.vs {
+		fr, err := fd.mergers[i].Finish()
 		if err != nil {
 			return nil, err
 		}
@@ -139,7 +178,23 @@ func (f fleetExperiment) Merge(cfg core.Config, shards [][]byte) (*Outcome, erro
 	if err != nil {
 		return nil, err
 	}
-	return &Outcome{Name: f.name, Kind: KindFleet, Text: text.String(), CSVText: csv.String(), Raw: raw}, nil
+	return &Outcome{Name: fd.exp.name, Kind: KindFleet, Text: text.String(), CSVText: csv.String(), Raw: raw}, nil
+}
+
+// Merge is the batch form, kept for the Experiment contract (and any
+// caller outside the runner): it simply replays the shards through the
+// same fold, so the two paths cannot drift.
+func (f fleetExperiment) Merge(cfg core.Config, shards [][]byte) (*Outcome, error) {
+	fold, err := f.Fold(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range shards {
+		if err := fold.Absorb(i, b); err != nil {
+			return nil, err
+		}
+	}
+	return fold.Finish()
 }
 
 // FleetScenario wraps a single ad-hoc scenario (the `dgrid fleet`

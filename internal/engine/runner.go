@@ -32,6 +32,11 @@ type Runner struct {
 	// Progress, if non-nil, receives one line per completed shard and
 	// per merged experiment. It may be called from multiple goroutines.
 	Progress func(format string, args ...any)
+	// ShardDone, if non-nil, is called after each task is folded or
+	// stored, with the number of tasks finished so far and the total.
+	// It is always called from the collector goroutine (the caller's),
+	// in task order, so implementations need no locking.
+	ShardDone func(done, total int)
 }
 
 // slot addresses one (experiment, shard) payload cell.
@@ -49,11 +54,37 @@ type task struct {
 	dests []slot
 }
 
-// Run executes every shard of every experiment on the pool, then merges
+// taskResult carries one computed payload from a worker to the
+// collector; payload is nil when the task was skipped after a failure.
+type taskResult struct {
+	ti      int
+	payload []byte
+}
+
+// reorderWindow bounds how far task dispatch may run ahead of the
+// in-order fold: the collector holds at most this many out-of-order
+// payloads, so memory stays constant no matter how many shards a run
+// has. The window leaves every worker several tasks of slack so a slow
+// shard does not idle the pool.
+func reorderWindow(workers int) int {
+	w := 4 * workers
+	if w < 16 {
+		w = 16
+	}
+	return w
+}
+
+// Run executes every shard of every experiment on the pool and merges
 // in input order. Outcomes are returned in input order; their content is
 // independent of the worker count, because merging is a pure function of
 // the shard payloads. On shard failure the first error (in task order)
 // is returned and remaining work is abandoned.
+//
+// Experiments implementing Folder are merged as a streaming fold: each
+// payload is absorbed, in shard order, as soon as the in-order prefix of
+// tasks completes, then released — so peak memory is bounded by the
+// reorder window rather than the shard count. Other experiments keep
+// the collect-then-merge path.
 func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, error) {
 	start := time.Now()
 	cfg = normalize(cfg)
@@ -68,10 +99,21 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 		byKey  = map[string]int{} // cache key -> index into tasks
 		nSlots int
 	)
+	// Buffered payload arrays exist only for non-streaming experiments;
+	// folds absorb and drop their payloads instead.
 	payloads := make([][][]byte, len(exps))
+	folds := make([]Fold, len(exps))
 	for i, e := range exps {
 		n := e.Shards(cfg)
-		payloads[i] = make([][]byte, n)
+		if f, ok := e.(Folder); ok {
+			fold, err := f.Fold(cfg)
+			if err != nil {
+				return nil, Stats{}, fmt.Errorf("engine: %s fold: %w", e.Name(), err)
+			}
+			folds[i] = fold
+		} else {
+			payloads[i] = make([][]byte, n)
+		}
 		for s := 0; s < n; s++ {
 			nSlots++
 			k := CacheKey(e.Scope(), cfg, s)
@@ -103,7 +145,25 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 		}
 	}
 
+	window := reorderWindow(workers)
+	permits := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		permits <- struct{}{}
+	}
 	ch := make(chan int)
+	results := make(chan taskResult, window)
+
+	// Feeder: dispatches tasks in index order, never more than window
+	// tasks ahead of the in-order fold (the collector returns a permit
+	// per folded task). That cap is what bounds the reorder buffer.
+	go func() {
+		for ti := range tasks {
+			<-permits
+			ch <- ti
+		}
+		close(ch)
+	}()
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -111,29 +171,26 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 			defer wg.Done()
 			for ti := range ch {
 				if failed.Load() {
+					results <- taskResult{ti: ti}
 					continue
 				}
 				t := tasks[ti]
 				// Any destination computes the same payload; run the
-				// first and fan the bytes out to every slot.
+				// first and let the collector fan the bytes out.
 				first := t.dests[0]
 				e := exps[first.exp]
-				fill := func(b []byte) {
-					for _, d := range t.dests {
-						payloads[d.exp][d.shard] = b
-					}
-				}
 				if r.Cache != nil {
 					if b, ok := r.Cache.Get(t.key); ok {
 						hits.Add(int64(len(t.dests)))
-						fill(b)
 						r.progress("cached %s shard %d/%d", e.Name(), first.shard+1, e.Shards(cfg))
+						results <- taskResult{ti: ti, payload: b}
 						continue
 					}
 				}
 				b, err := e.RunShard(cfg, first.shard)
 				if err != nil {
 					fail(ti, fmt.Errorf("engine: %s shard %d: %w", e.Name(), first.shard, err))
+					results <- taskResult{ti: ti}
 					continue
 				}
 				misses.Add(1)
@@ -144,15 +201,49 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 				if r.Cache != nil {
 					r.Cache.Put(t.key, b)
 				}
-				fill(b)
 				r.progress("ran %s shard %d/%d", e.Name(), first.shard+1, e.Shards(cfg))
+				results <- taskResult{ti: ti, payload: b}
 			}
 		}()
 	}
-	for ti := range tasks {
-		ch <- ti
+
+	// Collector: re-establishes task order behind the pool and folds the
+	// contiguous prefix. pending holds only out-of-order payloads, and
+	// the permit flow keeps it no larger than the reorder window.
+	pending := make(map[int][]byte, window)
+	contig := 0
+	deliver := func(ti int, payload []byte) {
+		if failed.Load() || payload == nil {
+			return
+		}
+		for _, d := range tasks[ti].dests {
+			if fold := folds[d.exp]; fold != nil {
+				if err := fold.Absorb(d.shard, payload); err != nil {
+					fail(ti, fmt.Errorf("engine: %s shard %d: %w", exps[d.exp].Name(), d.shard, err))
+					return
+				}
+			} else {
+				payloads[d.exp][d.shard] = payload
+			}
+		}
 	}
-	close(ch)
+	for received := 0; received < len(tasks); received++ {
+		res := <-results
+		pending[res.ti] = res.payload
+		for {
+			payload, ok := pending[contig]
+			if !ok {
+				break
+			}
+			delete(pending, contig)
+			deliver(contig, payload)
+			contig++
+			permits <- struct{}{}
+			if r.ShardDone != nil {
+				r.ShardDone(contig, len(tasks))
+			}
+		}
+	}
 	wg.Wait()
 
 	stats := Stats{
@@ -168,7 +259,13 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 
 	outcomes := make([]*Outcome, len(exps))
 	for i, e := range exps {
-		o, err := e.Merge(cfg, payloads[i])
+		var o *Outcome
+		var err error
+		if folds[i] != nil {
+			o, err = folds[i].Finish()
+		} else {
+			o, err = e.Merge(cfg, payloads[i])
+		}
 		if err != nil {
 			stats.Elapsed = time.Since(start)
 			return nil, stats, fmt.Errorf("engine: %s merge: %w", e.Name(), err)

@@ -1,0 +1,29 @@
+package engine
+
+import "vmdg/internal/core"
+
+// Folder is implemented by experiments whose merge is an incremental
+// fold over shard payloads in shard-index order. The runner merges such
+// experiments as a stream: each payload is absorbed the moment the
+// in-order prefix of work completes, then released, so a run's memory
+// footprint is bounded by the pool's reorder window instead of the
+// total shard count. Fleet experiments — whose shard counts reach the
+// thousands at million-host populations — implement it; the small
+// figure experiments keep the simpler batch Merge.
+type Folder interface {
+	Experiment
+	// Fold returns a fresh accumulator for one run. The runner calls
+	// Absorb from a single goroutine, in strictly increasing shard
+	// order with no gaps, then Finish exactly once.
+	Fold(cfg core.Config) (Fold, error)
+}
+
+// Fold accumulates shard payloads into an Outcome.
+type Fold interface {
+	// Absorb folds shard's payload into the accumulator. The payload
+	// buffer is shared; implementations must not retain it.
+	Absorb(shard int, payload []byte) error
+	// Finish completes the fold. The result must be bit-identical to
+	// the experiment's batch Merge over the same payloads.
+	Finish() (*Outcome, error)
+}

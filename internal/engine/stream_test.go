@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"vmdg/internal/core"
+)
+
+// fakeFolder is a fakeExp that also streams: it records the absorb
+// order so tests can pin the in-order contract.
+type fakeFolder struct {
+	fakeExp
+	t *testing.T
+}
+
+type fakeFold struct {
+	f     *fakeFolder
+	next  int
+	total float64
+	n     int
+}
+
+func (f *fakeFolder) Fold(cfg core.Config) (Fold, error) {
+	return &fakeFold{f: f}, nil
+}
+
+func (fd *fakeFold) Absorb(shard int, payload []byte) error {
+	if shard != fd.next {
+		fd.f.t.Errorf("fold absorbed shard %d, want %d", shard, fd.next)
+	}
+	fd.next++
+	var p map[string]float64
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return err
+	}
+	fd.total += p["v"]
+	fd.n++
+	return nil
+}
+
+func (fd *fakeFold) Finish() (*Outcome, error) {
+	if fd.n != fd.f.shards {
+		return nil, fmt.Errorf("fold saw %d of %d shards", fd.n, fd.f.shards)
+	}
+	return &Outcome{
+		Name: fd.f.name,
+		Kind: KindFigure,
+		Text: fmt.Sprintf("%s total %.3f over %d shards\n", fd.f.name, fd.total, fd.n),
+	}, nil
+}
+
+// TestStreamingFoldMatchesBatchMerge runs the same experiment through
+// the streaming path (as a Folder) and the batch path (plain
+// Experiment) and requires identical outcomes for any worker count.
+func TestStreamingFoldMatchesBatchMerge(t *testing.T) {
+	const shards = 100
+	batch := newFake("streamfake", shards)
+	r := Runner{Workers: 1}
+	want, _, err := r.Run(quickCfg(), []Experiment{batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		stream := &fakeFolder{fakeExp: fakeExp{name: "streamfake", shards: shards, fail: -1}, t: t}
+		r := Runner{Workers: workers}
+		got, stats, err := r.Run(quickCfg(), []Experiment{stream})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Shards != shards {
+			t.Fatalf("workers=%d: %d shards, want %d", workers, stats.Shards, shards)
+		}
+		if got[0].Render() != want[0].Render() {
+			t.Fatalf("workers=%d: streaming outcome differs from batch:\n%s\nvs\n%s",
+				workers, got[0].Render(), want[0].Render())
+		}
+	}
+}
+
+// TestStreamingFoldError verifies an absorb failure surfaces like a
+// shard failure and aborts the run.
+func TestStreamingFoldError(t *testing.T) {
+	bad := &fakeFolder{fakeExp: fakeExp{name: "badfold", shards: 5, fail: 3}, t: t}
+	r := Runner{Workers: 2}
+	_, _, err := r.Run(quickCfg(), []Experiment{bad})
+	if err == nil {
+		t.Fatal("failing shard in a folder experiment did not surface an error")
+	}
+}
+
+// TestShardDoneOrdered pins the ShardDone contract: called once per
+// task, in task order, from the collector.
+func TestShardDoneOrdered(t *testing.T) {
+	fake := newFake("donefake", 23)
+	var calls []int
+	r := Runner{
+		Workers:   4,
+		ShardDone: func(done, total int) { calls = append(calls, done) },
+	}
+	if _, _, err := r.Run(quickCfg(), []Experiment{fake}); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 23 {
+		t.Fatalf("ShardDone called %d times, want 23", len(calls))
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("ShardDone sequence %v not in task order", calls)
+		}
+	}
+}
+
+// TestReorderWindowBounds sanity-checks the dispatch window floor.
+func TestReorderWindowBounds(t *testing.T) {
+	if w := reorderWindow(1); w != 16 {
+		t.Errorf("reorderWindow(1) = %d, want the floor 16", w)
+	}
+	if w := reorderWindow(8); w != 32 {
+		t.Errorf("reorderWindow(8) = %d, want 32", w)
+	}
+}
+
+func TestFileCachePrune(t *testing.T) {
+	dir := t.TempDir()
+	fc, err := NewFileCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		fc.Put(fmt.Sprintf("key-%d", i), make([]byte, 100))
+	}
+	// Age two entries far past any cutoff.
+	old := time.Now().Add(-48 * time.Hour)
+	aged := 0
+	entries, err := fc.entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if aged < 2 {
+			if err := os.Chtimes(e.path, old, old); err != nil {
+				t.Fatal(err)
+			}
+			aged++
+		}
+	}
+
+	st, err := fc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 5 || st.Bytes != 500 {
+		t.Fatalf("stats = %+v, want 5 entries of 500 bytes", st)
+	}
+
+	removed, freed, err := fc.Prune(24*time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 || freed != 200 {
+		t.Fatalf("age prune removed %d (%d bytes), want the 2 aged entries", removed, freed)
+	}
+
+	removed, _, err = fc.Prune(0, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("size prune removed %d, want 1 (300 bytes down to <=250)", removed)
+	}
+
+	removed, _, err = fc.Clear()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("clear removed %d, want the remaining 2", removed)
+	}
+	st, _ = fc.Stats()
+	if st.Entries != 0 {
+		t.Fatalf("cache not empty after clear: %+v", st)
+	}
+	// Non-payload files are left alone.
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fc.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "README")); err != nil {
+		t.Fatal("clear removed a non-cache file")
+	}
+}

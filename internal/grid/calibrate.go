@@ -30,6 +30,20 @@ type Calibration struct {
 	// BurstMs holds the measured interactive-burst latencies (ms)
 	// under the running VM; the fleet resamples from it.
 	BurstMs []float64
+	// bins is BurstMs collapsed onto the latency histogram's bin
+	// layout — the categorical distribution aggregate burst sampling
+	// draws its multinomials from. Derived once at calibration time and
+	// shared read-only by every host of the (class, environment) pair.
+	bins []burstBin
+}
+
+// burstDist returns the binned burst distribution, deriving it on the
+// fly for hand-built calibrations (tests) that skip calibrate.
+func (c *Calibration) burstDist() []burstBin {
+	if c.bins != nil {
+		return c.bins
+	}
+	return binBursts(c.BurstMs)
 }
 
 // calKey identifies one memoized calibration.
@@ -132,6 +146,7 @@ func calibrate(class *Class, prof vmm.Profile, seed uint64, ckptEvery int, quick
 		ActiveChunksPerSec: (c1 - c0) / window.Seconds(),
 		IdleChunksPerSec:   (c2 - c1) / window.Seconds(),
 		BurstMs:            bursts,
+		bins:               binBursts(bursts),
 	}
 	if len(cal.BurstMs) == 0 {
 		return Calibration{}, fmt.Errorf("grid: calibration of %s/%s produced no burst samples", class.Name, prof.Name)

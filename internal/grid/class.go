@@ -91,19 +91,26 @@ func splitmix(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// classFor deterministically assigns host g its class by weighted draw
-// on the host's identity stream.
-func classFor(classes []Class, seed uint64, g int) *Class {
+// classIndexFor deterministically assigns host g its class index by
+// weighted draw on the host's identity stream.
+func classIndexFor(classes []Class, seed uint64, g int) int {
 	var total float64
 	for i := range classes {
 		total += classes[i].Weight
 	}
-	r := sim.NewRNG(hostSeed(seed, g)^0xc1a55).Float64() * total
+	rng := sim.RNG{}
+	rng.SetState(hostSeed(seed, g) ^ 0xc1a55)
+	r := rng.Float64() * total
 	for i := range classes {
 		r -= classes[i].Weight
 		if r < 0 {
-			return &classes[i]
+			return i
 		}
 	}
-	return &classes[len(classes)-1]
+	return len(classes) - 1
+}
+
+// classFor is classIndexFor returning the class itself.
+func classFor(classes []Class, seed uint64, g int) *Class {
+	return &classes[classIndexFor(classes, seed, g)]
 }

@@ -26,9 +26,17 @@
 //   - Fleet. Each host is then a coarse state machine driven by the
 //     same discrete-event kernel (internal/sim): power sessions and
 //     owner activity alternate via exponential draws from the host's
-//     own SplitMix64 stream, work-unit progress accrues at the
-//     calibrated rate, and completions fire as predicted events that
-//     are cancelled and rescheduled when the rate changes.
+//     own SplitMix64 stream and work-unit progress accrues at the
+//     calibrated rate. Completions are predicted events, moved in
+//     place (sim.Reschedule, pooled closure-free timers) when the rate
+//     changes — or, under a policy whose statistics are call-order
+//     invariant (fifo), settled arithmetically at phase boundaries
+//     with no events at all. Interactive-burst latencies are not
+//     resampled per simulated second: each host counts the bursts its
+//     active phases owe and settles them with one seeded multinomial
+//     over the calibration's binned latency distribution (see
+//     ARCHITECTURE.md, "Aggregate burst sampling"), which is what
+//     makes million-host, working-day horizons tractable.
 //
 // # Churn, checkpoints, eviction
 //

@@ -195,8 +195,8 @@ func TestEvictionRollsBackToCheckpoint(t *testing.T) {
 	}
 	h := &host{
 		env: env, id: "h0", class: &Classes()[0],
-		cal:      Calibration{ActiveChunksPerSec: 1, IdleChunksPerSec: 1, BurstMs: []float64{1}},
-		ownerRNG: sim.NewRNG(1), envRNG: sim.NewRNG(2),
+		cal:      &Calibration{ActiveChunksPerSec: 1, IdleChunksPerSec: 1, BurstMs: []float64{1}},
+		ownerRNG: *sim.NewRNG(1), envRNG: *sim.NewRNG(2),
 		on: true, hasWork: true,
 		wu:       boinc.WorkUnit{ID: "t-wu-000000", Seed: 1, Chunks: 1000, CheckpointEvery: 100},
 		progress: 351,
@@ -251,15 +251,16 @@ func TestDeadlinePolicyReissuesOverdueUnits(t *testing.T) {
 	pol := newPolicy(scn, "t", 200)
 	wu := pol.Assign("gone-host", 0)
 
-	// Before the deadline a second host gets fresh work.
+	// Before the deadline a second host gets fresh work. (Non-quorum
+	// units carry no ID string; the seed is their identity.)
 	early := pol.Assign("other", 30*sim.Second)
-	if early.ID == wu.ID {
+	if early.Seed == wu.Seed {
 		t.Fatal("unit reissued before its deadline")
 	}
 	// After the deadline the overdue unit is handed out again.
 	late := pol.Assign("rescuer", 2*60*sim.Second)
-	if late.ID != wu.ID {
-		t.Fatalf("overdue unit not reissued: got %s, want %s", late.ID, wu.ID)
+	if late.Seed != wu.Seed {
+		t.Fatalf("overdue unit not reissued: got seed %d, want %d", late.Seed, wu.Seed)
 	}
 	pol.Submit("rescuer", wu, resultFor(wu), 3*60*sim.Second)
 	// The original host finally returns: a duplicate, not a new unit.
@@ -279,7 +280,7 @@ func TestFifoLeavesChurnedUnitsOutstanding(t *testing.T) {
 	pol := newPolicy(scn, "t", 300)
 	wu1 := pol.Assign("gone-host", 0)
 	wu2 := pol.Assign("worker", 0)
-	if wu1.ID == wu2.ID {
+	if wu1.Seed == wu2.Seed {
 		t.Fatal("fifo reissued a unit")
 	}
 	pol.Submit("worker", wu2, resultFor(wu2), sim.Second)

@@ -1,6 +1,10 @@
 package grid
 
-import "math"
+import (
+	"math"
+
+	"vmdg/internal/sim"
+)
 
 // Histogram bin layout: log-spaced bins covering 0.01 ms .. 100 s
 // (7 decades), which brackets every latency the burst model can
@@ -11,6 +15,18 @@ const (
 	histMinMs   = 0.01
 	histDecades = 7.0
 )
+
+// histBin maps a latency in milliseconds to its bin index.
+func histBin(ms float64) int {
+	if ms <= histMinMs {
+		return 0
+	}
+	i := int(math.Log10(ms/histMinMs) * histBins / histDecades)
+	if i >= histBins {
+		i = histBins - 1
+	}
+	return i
+}
 
 // Histogram accumulates interactive-burst latencies in fixed log
 // bins. Fixed bins make the merge of any number of shard histograms a
@@ -23,14 +39,7 @@ type Histogram struct {
 
 // Add records one latency in milliseconds.
 func (h *Histogram) Add(ms float64) {
-	i := 0
-	if ms > histMinMs {
-		i = int(math.Log10(ms/histMinMs) * histBins / histDecades)
-		if i >= histBins {
-			i = histBins - 1
-		}
-	}
-	h.Counts[i]++
+	h.Counts[histBin(ms)]++
 	h.N++
 }
 
@@ -61,4 +70,72 @@ func (h *Histogram) Percentile(p float64) float64 {
 		}
 	}
 	return histMinMs * math.Pow(10, histDecades)
+}
+
+// burstBin is one cell of a binned empirical burst distribution: the
+// histogram bin the calibrated latencies fell into and the fraction of
+// them that did.
+type burstBin struct {
+	bin int
+	p   float64
+}
+
+// binBursts collapses an empirical latency sample onto the histogram's
+// bin layout, yielding the categorical distribution the fleet's
+// aggregate sampling draws from. Bins come out in ascending index
+// order, which the multinomial walk relies on for determinism.
+func binBursts(ms []float64) []burstBin {
+	if len(ms) == 0 {
+		return nil
+	}
+	var counts [histBins]int32
+	for _, v := range ms {
+		counts[histBin(v)]++
+	}
+	total := float64(len(ms))
+	out := make([]burstBin, 0, 16)
+	for i, c := range counts {
+		if c > 0 {
+			out = append(out, burstBin{bin: i, p: float64(c) / total})
+		}
+	}
+	return out
+}
+
+// AddMultinomial records n latencies distributed over dist by a seeded
+// multinomial draw: a walk of conditional binomials, so the cost is
+// O(len(dist)) regardless of n. Replacing n independent categorical
+// draws with one multinomial is an exact distributional identity — the
+// per-draw and aggregate forms produce the same law over bin counts —
+// which is what lets the fleet drop its O(simulated-seconds) per-second
+// sampling loop without moving the merged percentiles.
+func (h *Histogram) AddMultinomial(rng *sim.RNG, dist []burstBin, n int64) {
+	if n <= 0 || len(dist) == 0 {
+		return
+	}
+	remaining := n
+	pLeft := 1.0
+	for i, b := range dist {
+		if remaining == 0 {
+			break
+		}
+		if i == len(dist)-1 || b.p >= pLeft {
+			// Last cell (or float drift exhausted the mass): the
+			// conditional probability is 1.
+			h.Counts[b.bin] += remaining
+			h.N += remaining
+			remaining = 0
+			break
+		}
+		k := rng.Binomial(remaining, b.p/pLeft)
+		h.Counts[b.bin] += k
+		h.N += k
+		remaining -= k
+		pLeft -= b.p
+	}
+	if remaining > 0 {
+		// Unreachable while dist is non-empty, but keep N consistent.
+		h.Counts[dist[len(dist)-1].bin] += remaining
+		h.N += remaining
+	}
 }

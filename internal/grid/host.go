@@ -12,26 +12,33 @@ import (
 // loop: a state machine over (powered, owner-active) whose work-unit
 // progress accrues at the calibrated rate of its (class, environment)
 // pair.
+//
+// The struct is built for million-host fleets: the RNGs are embedded
+// values (no per-host heap cells), the calibration is a shared pointer,
+// and every event the host schedules goes through the simulator's
+// pooled, closure-free API — the timer "arms" below are pointer aliases
+// of host itself, so arming a timer allocates nothing.
 type host struct {
 	env *envShard
 
 	id     string
 	class  *Class
+	cal    *Calibration
 	faulty bool
-	cal    Calibration
 
 	// ownerRNG drives churn and activity (environment-independent, so
 	// the same volunteer behaves identically under every environment);
 	// envRNG drives latency resampling and corrupted result values.
-	ownerRNG *sim.RNG
-	envRNG   *sim.RNG
+	ownerRNG sim.RNG
+	envRNG   sim.RNG
 
 	on      bool
 	active  bool
+	hasWork bool
+
 	onStart sim.Time // when the current power session began
 
 	// Work in flight.
-	hasWork  bool
 	wu       boinc.WorkUnit
 	progress float64  // chunks done on wu
 	accrued  sim.Time // progress is exact as of this instant
@@ -39,9 +46,30 @@ type host struct {
 
 	phaseStart sim.Time // start of the current active/idle phase
 
-	completion *sim.Event
-	flip       *sim.Event
+	// pendingBursts counts interactive bursts owed to the latency
+	// histogram: one per whole second of owner-active time, settled in
+	// aggregate by drainBursts instead of sampled per second.
+	pendingBursts int64
+
+	completion sim.Handle
+	flip       sim.Handle
 }
+
+// The timer arms give each of the host's event kinds a distinct
+// closure-free sim.Caller without any per-host timer objects: each arm
+// is a named alias of host, so (*completeArm)(h) is a free pointer
+// conversion and storing it in a Caller interface does not allocate.
+type (
+	completeArm host
+	flipArm     host
+	powerOnArm  host
+	powerOffArm host
+)
+
+func (a *completeArm) Fire(now sim.Time) { (*host)(a).complete(now) }
+func (a *flipArm) Fire(now sim.Time)     { (*host)(a).doFlip(now) }
+func (a *powerOnArm) Fire(now sim.Time)  { (*host)(a).powerOn(now, true) }
+func (a *powerOffArm) Fire(now sim.Time) { (*host)(a).powerOff(now) }
 
 // rate is the host's current science rate in chunks/second.
 func (h *host) rate() float64 {
@@ -51,8 +79,14 @@ func (h *host) rate() float64 {
 	return h.cal.IdleChunksPerSec
 }
 
-// accrue brings progress up to now at the prevailing rate.
+// accrue brings progress up to now at the prevailing rate. Under a
+// time-free policy (env.batch) it also settles every unit completion
+// the window contains — see settle.
 func (h *host) accrue(now sim.Time) {
+	if h.env.batch {
+		h.settle(now)
+		return
+	}
 	if h.on && h.hasWork {
 		h.progress += h.rate() * (now - h.accrued).Seconds()
 		if h.progress > float64(h.wu.Chunks) {
@@ -62,44 +96,41 @@ func (h *host) accrue(now sim.Time) {
 	h.accrued = now
 }
 
-// flushPhase closes the owner phase that ran since phaseStart: active
-// phases contribute one interactive burst per whole second, resampled
-// from the calibrated latency distribution.
-func (h *host) flushPhase(now sim.Time) {
-	if h.on && h.active {
-		dur := (now - h.phaseStart).Seconds()
-		h.env.stats.ActiveSeconds += dur
-		n := len(h.cal.BurstMs)
-		for i := 0; i < int(dur); i++ {
-			h.env.stats.Latency.Add(h.cal.BurstMs[h.envRNG.Intn(n)])
+// settle advances progress across [accrued, now] — a window of
+// constant rate, since every rate change passes through accrue first —
+// submitting each unit the window completes at its exact completion
+// instant and requesting the next, with no simulator events. Only
+// hosts under a timeFree policy settle: the server calls happen in
+// phase-boundary order rather than global completion-time order, which
+// such a policy's statistics provably cannot observe. A working day of
+// an always-on host costs ~60 completion events on the queue; settling
+// makes it a handful of arithmetic iterations inside events the host
+// fires anyway.
+func (h *host) settle(now sim.Time) {
+	if h.on && h.hasWork {
+		rate := h.rate()
+		for {
+			remaining := float64(h.wu.Chunks) - h.progress
+			gain := rate * (now - h.accrued).Seconds()
+			if gain < remaining {
+				h.progress += gain
+				break
+			}
+			at := h.accrued + sim.FromSeconds(remaining/rate)
+			if at > now {
+				at = now // FromSeconds rounding must not move time forward
+			}
+			h.submit(at)
+			h.ckpt = nil
+			h.hasWork = false
+			h.requestWork(at) // resets progress and sets accrued = at
 		}
 	}
-	h.phaseStart = now
+	h.accrued = now
 }
 
-// scheduleCompletion (re)schedules the predicted completion of the
-// current unit. Call after every rate or assignment change.
-func (h *host) scheduleCompletion(now sim.Time) {
-	if h.completion != nil {
-		h.completion.Cancel()
-		h.completion = nil
-	}
-	if !h.on || !h.hasWork {
-		return
-	}
-	remaining := float64(h.wu.Chunks) - h.progress
-	if remaining < 0 {
-		remaining = 0
-	}
-	eta := now + sim.FromSeconds(remaining/h.rate())
-	h.completion = h.env.sim.At(eta, "complete", func() { h.complete(eta) })
-}
-
-// complete fires when the predicted completion instant arrives: the
-// host submits its result and requests the next unit.
-func (h *host) complete(now sim.Time) {
-	h.completion = nil
-	h.accrue(now)
+// submit reports the current unit's result (corrupted when faulty).
+func (h *host) submit(now sim.Time) {
 	result := resultFor(h.wu)
 	if h.faulty {
 		result = int(h.envRNG.Uint64() % resultSpace)
@@ -108,6 +139,62 @@ func (h *host) complete(now sim.Time) {
 		}
 	}
 	h.env.policy.Submit(h.id, h.wu, result, now)
+}
+
+// flushPhase closes the owner phase that ran since phaseStart: active
+// phases owe one interactive burst per whole second. The bursts are
+// only counted here; drainBursts settles them into the latency
+// histogram in aggregate.
+func (h *host) flushPhase(now sim.Time) {
+	if h.on && h.active {
+		dur := (now - h.phaseStart).Seconds()
+		h.env.stats.ActiveSeconds += dur
+		h.pendingBursts += int64(dur)
+	}
+	h.phaseStart = now
+}
+
+// drainBursts settles the accumulated burst count into the latency
+// histogram with one seeded multinomial over the calibration's binned
+// burst distribution. Because multinomials are additive in n, draining
+// once per host is distributed identically to sampling every burst the
+// moment its phase closed — at a cost independent of simulated time.
+func (h *host) drainBursts() {
+	if h.pendingBursts > 0 {
+		h.env.stats.Latency.AddMultinomial(&h.envRNG, h.cal.burstDist(), h.pendingBursts)
+		h.pendingBursts = 0
+	}
+}
+
+// scheduleCompletion (re)schedules the predicted completion of the
+// current unit. Call after every rate or assignment change; the pending
+// event is moved in place when possible. Batch-settled hosts never arm
+// completion events.
+func (h *host) scheduleCompletion(now sim.Time) {
+	if h.env.batch {
+		return
+	}
+	if !h.on || !h.hasWork {
+		h.completion.Cancel()
+		h.completion = sim.Handle{}
+		return
+	}
+	remaining := float64(h.wu.Chunks) - h.progress
+	if remaining < 0 {
+		remaining = 0
+	}
+	eta := now + sim.FromSeconds(remaining/h.rate())
+	if !h.env.sim.Reschedule(h.completion, eta) {
+		h.completion = h.env.sim.Schedule(eta, "complete", (*completeArm)(h))
+	}
+}
+
+// complete fires when the predicted completion instant arrives: the
+// host submits its result and requests the next unit.
+func (h *host) complete(now sim.Time) {
+	h.completion = sim.Handle{}
+	h.accrue(now)
+	h.submit(now)
 	h.ckpt = nil
 	h.hasWork = false
 	h.requestWork(now)
@@ -148,8 +235,7 @@ func (h *host) powerOn(now sim.Time, ownerPresent bool) {
 	h.scheduleFlip(now)
 	h.scheduleCompletion(now)
 	if h.env.scn.Churn {
-		end := now + h.exp(h.class.MeanOnMin)
-		h.env.sim.At(end, "power-off", func() { h.powerOff(end) })
+		h.env.sim.Schedule(now+h.exp(h.class.MeanOnMin), "power-off", (*powerOffArm)(h))
 	}
 }
 
@@ -166,14 +252,10 @@ func (h *host) powerOff(now sim.Time) {
 	h.accrue(now)
 	h.flushPhase(now)
 	h.env.stats.OnSeconds += (now - h.onStart).Seconds()
-	if h.completion != nil {
-		h.completion.Cancel()
-		h.completion = nil
-	}
-	if h.flip != nil {
-		h.flip.Cancel()
-		h.flip = nil
-	}
+	h.completion.Cancel()
+	h.completion = sim.Handle{}
+	h.flip.Cancel()
+	h.flip = sim.Handle{}
 	h.on = false
 	if h.hasWork && h.progress > 0 {
 		h.env.stats.Evictions++
@@ -188,8 +270,7 @@ func (h *host) powerOff(now sim.Time) {
 	if h.hasWork {
 		h.ckpt = h.encodeCheckpoint(now)
 	}
-	back := now + h.exp(h.class.MeanOffMin)
-	h.env.sim.At(back, "power-on", func() { h.powerOn(back, true) })
+	h.env.sim.Schedule(now+h.exp(h.class.MeanOffMin), "power-on", (*powerOnArm)(h))
 }
 
 // encodeCheckpoint captures the host's surviving state as a real VMM
@@ -238,13 +319,12 @@ func (h *host) scheduleFlip(now sim.Time) {
 	if h.active {
 		mean = h.class.MeanActiveMin
 	}
-	at := now + h.exp(mean)
-	h.flip = h.env.sim.At(at, "owner-flip", func() { h.doFlip(at) })
+	h.flip = h.env.sim.Schedule(now+h.exp(mean), "owner-flip", (*flipArm)(h))
 }
 
 // doFlip toggles owner activity, which changes the science rate.
 func (h *host) doFlip(now sim.Time) {
-	h.flip = nil
+	h.flip = sim.Handle{}
 	h.accrue(now)
 	h.flushPhase(now)
 	h.active = !h.active
@@ -252,14 +332,16 @@ func (h *host) doFlip(now sim.Time) {
 	h.scheduleCompletion(now)
 }
 
-// finalize settles accounting at the horizon for a still-powered host.
+// finalize settles accounting at the horizon: a still-powered host
+// closes its open phase and power session, and every host drains its
+// accumulated bursts into the latency histogram.
 func (h *host) finalize(now sim.Time) {
-	if !h.on {
-		return
+	if h.on {
+		h.accrue(now)
+		h.flushPhase(now)
+		h.env.stats.OnSeconds += (now - h.onStart).Seconds()
 	}
-	h.accrue(now)
-	h.flushPhase(now)
-	h.env.stats.OnSeconds += (now - h.onStart).Seconds()
+	h.drainBursts()
 }
 
 // exp draws an exponential duration with the given mean in minutes.

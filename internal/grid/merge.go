@@ -12,35 +12,76 @@ type FleetResult struct {
 	Envs     []*EnvStats
 }
 
-// MergeShards folds shard results (indexed by shard) into the fleet
-// result. It is a pure function of its inputs, folded in shard order,
-// so the outcome is bit-identical for any worker count.
-func MergeShards(scn Scenario, shards []*ShardResult) (*FleetResult, error) {
+// Merger folds shard results into a fleet result incrementally, in
+// strict shard-index order, so a scenario with thousands of shards
+// never needs them all resident at once: each absorbed ShardResult is
+// summed into the per-environment accumulators and released. The fold
+// order is fixed by construction, which keeps the streamed result
+// bit-identical to a batch merge for any worker count or completion
+// order upstream.
+type Merger struct {
+	scn   Scenario
+	fr    *FleetResult
+	byEnv map[string]*EnvStats
+	next  int
+}
+
+// NewMerger prepares an incremental fold for the scenario's shards.
+func NewMerger(scn Scenario) *Merger {
 	scn = scn.Normalize()
-	fr := &FleetResult{Scenario: scn}
-	byEnv := map[string]*EnvStats{}
+	m := &Merger{scn: scn, fr: &FleetResult{Scenario: scn}, byEnv: map[string]*EnvStats{}}
 	for _, env := range scn.Envs {
 		st := &EnvStats{Env: env}
-		byEnv[env] = st
-		fr.Envs = append(fr.Envs, st)
+		m.byEnv[env] = st
+		m.fr.Envs = append(m.fr.Envs, st)
 	}
-	for i, sr := range shards {
-		if sr == nil {
-			return nil, fmt.Errorf("grid: missing shard %d", i)
+	return m
+}
+
+// Absorb folds shard i into the accumulators. Shards must arrive in
+// increasing index order with no gaps — the caller (the engine's
+// streaming fold) provides exactly that.
+func (m *Merger) Absorb(i int, sr *ShardResult) error {
+	if i != m.next {
+		return fmt.Errorf("grid: absorbed shard %d out of order (want %d)", i, m.next)
+	}
+	if sr == nil {
+		return fmt.Errorf("grid: missing shard %d", i)
+	}
+	m.next++
+	for _, st := range sr.Envs {
+		dst, ok := m.byEnv[st.Env]
+		if !ok {
+			return fmt.Errorf("grid: shard %d reports unknown environment %q", i, st.Env)
 		}
-		for _, st := range sr.Envs {
-			dst, ok := byEnv[st.Env]
-			if !ok {
-				return nil, fmt.Errorf("grid: shard %d reports unknown environment %q", i, st.Env)
-			}
-			dst.merge(st)
-		}
+		dst.merge(st)
+	}
+	return nil
+}
+
+// Finish completes the fold and returns the fleet result.
+func (m *Merger) Finish() (*FleetResult, error) {
+	if want := m.scn.Shards(); m.next != want {
+		return nil, fmt.Errorf("grid: merge finished after %d of %d shards", m.next, want)
 	}
 	// Every environment sees the whole population once.
-	if len(fr.Envs) > 0 {
-		fr.Hosts = fr.Envs[0].Hosts
+	if len(m.fr.Envs) > 0 {
+		m.fr.Hosts = m.fr.Envs[0].Hosts
 	}
-	return fr, nil
+	return m.fr, nil
+}
+
+// MergeShards folds shard results (indexed by shard) into the fleet
+// result in one call — the batch form of Merger, used by tests and
+// small fleets.
+func MergeShards(scn Scenario, shards []*ShardResult) (*FleetResult, error) {
+	m := NewMerger(scn)
+	for i, sr := range shards {
+		if err := m.Absorb(i, sr); err != nil {
+			return nil, err
+		}
+	}
+	return m.Finish()
 }
 
 // Header returns the one-line scenario description that precedes the

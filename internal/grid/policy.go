@@ -72,15 +72,15 @@ type Policy interface {
 // namespaces unit IDs per (shard, environment); seedBase namespaces
 // unit seeds.
 func newPolicy(scn Scenario, prefix string, seedBase uint64) Policy {
-	gen := unitGen{prefix: prefix, seedBase: seedBase, chunks: scn.ChunksPerUnit}
+	gen := unitGen{seedBase: seedBase, chunks: scn.ChunksPerUnit}
 	switch scn.Policy {
 	case "fifo":
 		return &fifoPolicy{gen: gen}
 	case "deadline":
 		return &deadlinePolicy{
-			gen:   gen,
-			slack: sim.FromSeconds(scn.DeadlineMin * 60),
-			byID:  map[string]*deadlineUnit{},
+			gen:    gen,
+			slack:  sim.FromSeconds(scn.DeadlineMin * 60),
+			bySeed: map[uint64]*deadlineUnit{},
 		}
 	case "replication":
 		return &quorumPolicy{
@@ -92,10 +92,14 @@ func newPolicy(scn Scenario, prefix string, seedBase uint64) Policy {
 	}
 }
 
-// unitGen mints sequential work units the way boinc.Project does, for
-// the policies that do not wrap a Project.
+// unitGen mints sequential work units with the seed and checkpoint
+// conventions of boinc.Project, for the policies that do not wrap a
+// Project. One deliberate deviation: the ID string is elided — the
+// unit's Seed (seedBase + index) is already a unique identity, and a
+// million-host fleet minting hundreds of millions of units cannot
+// afford a heap string per unit. The quorum policy, which wraps a real
+// Project, keeps full IDs.
 type unitGen struct {
-	prefix   string
 	seedBase uint64
 	chunks   int
 	next     int
@@ -104,7 +108,24 @@ type unitGen struct {
 func (g *unitGen) gen() boinc.WorkUnit {
 	i := g.next
 	g.next++
-	return boinc.MintUnit(g.prefix, i, g.seedBase, g.chunks)
+	return boinc.WorkUnit{
+		Seed:            g.seedBase + uint64(i),
+		Chunks:          g.chunks,
+		CheckpointEvery: boinc.CheckpointCadence(g.chunks),
+	}
+}
+
+// timeFree marks policies whose Assign/Submit ignore the call time and
+// whose statistics are invariant to the interleaving of calls across
+// hosts. Hosts served by such a policy settle their completion chains
+// arithmetically at phase boundaries (host.settle) instead of firing
+// one simulator event per completed unit — the unit→host mapping
+// changes relative to strict completion-time order, but every
+// statistic the policy reports is a count over per-host-deterministic
+// submissions, so the merged results are unaffected (only the Fired
+// event probe shrinks).
+type timeFree interface {
+	timeFree()
 }
 
 // fifoPolicy issues each unit exactly once, in order, and accepts the
@@ -117,6 +138,7 @@ type fifoPolicy struct {
 }
 
 func (p *fifoPolicy) Name() string { return "fifo" }
+func (p *fifoPolicy) timeFree()    {}
 
 func (p *fifoPolicy) Assign(host string, now sim.Time) boinc.WorkUnit {
 	p.st.UnitsIssued++
@@ -149,14 +171,15 @@ type deadlineUnit struct {
 // deadlinePolicy stamps every assignment with a deadline and reissues
 // overdue units before minting fresh ones, so work held by churned-off
 // volunteers is not lost — at the cost of duplicate results when the
-// original host eventually returns.
+// original host eventually returns. Units are keyed by their seed (the
+// elided-ID identity, see unitGen).
 type deadlinePolicy struct {
-	gen   unitGen
-	slack sim.Time
-	units []*deadlineUnit // issue order
-	byID  map[string]*deadlineUnit
-	scan  int // units[:scan] are all done
-	st    PolicyStats
+	gen    unitGen
+	slack  sim.Time
+	units  []*deadlineUnit // issue order
+	bySeed map[uint64]*deadlineUnit
+	scan   int // units[:scan] are all done
+	st     PolicyStats
 }
 
 func (p *deadlinePolicy) Name() string { return "deadline" }
@@ -175,7 +198,7 @@ func (p *deadlinePolicy) Assign(host string, now sim.Time) boinc.WorkUnit {
 	wu := p.gen.gen()
 	u := &deadlineUnit{wu: wu, deadline: now + p.slack}
 	p.units = append(p.units, u)
-	p.byID[wu.ID] = u
+	p.bySeed[wu.Seed] = u
 	p.st.UnitsIssued++
 	p.st.Assignments++
 	return wu
@@ -183,7 +206,7 @@ func (p *deadlinePolicy) Assign(host string, now sim.Time) boinc.WorkUnit {
 
 func (p *deadlinePolicy) Submit(host string, wu boinc.WorkUnit, result int, now sim.Time) {
 	p.st.Returned++
-	u := p.byID[wu.ID]
+	u := p.bySeed[wu.Seed]
 	if u.done {
 		p.st.Duplicates++
 		return

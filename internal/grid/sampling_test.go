@@ -1,0 +1,257 @@
+package grid
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"vmdg/internal/sim"
+)
+
+// syntheticBursts builds a latency sample shaped like a real
+// calibration: lognormal-ish bursts around the paper's ~40 ms with a
+// heavy contention tail. The continuum keeps every quantile
+// well-conditioned (no CDF plateau exactly at a checked percentile), so
+// the equivalence assertions measure the sampling math, not knife-edge
+// artifacts of a discrete mixture.
+func syntheticBursts(rng *sim.RNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 38 * math.Exp(0.35*rng.Normal(0, 1))
+		if rng.Float64() < 0.1 {
+			out[i] *= 3.5 // contention tail
+		}
+	}
+	return out
+}
+
+// TestAggregateSamplingMatchesPerSecond is the statistical-equivalence
+// contract behind the aggregate burst refactor: distributing phase
+// burst counts over the binned calibration distribution with seeded
+// multinomials must reproduce the per-second resampling histogram
+// within sampling noise — same total count exactly, CDF within a small
+// KS distance, and matching latency percentiles.
+func TestAggregateSamplingMatchesPerSecond(t *testing.T) {
+	rng := sim.NewRNG(41)
+	bursts := syntheticBursts(rng, 400)
+	dist := binBursts(bursts)
+	if len(dist) < 5 {
+		t.Fatalf("synthetic sample spans only %d bins; the test needs a real distribution", len(dist))
+	}
+
+	// A few thousand owner phases with irregular fractional durations,
+	// like flushPhase sees them.
+	phases := make([]float64, 4000)
+	durRNG := sim.NewRNG(43)
+	for i := range phases {
+		phases[i] = durRNG.Exp(9 * 60) // mean 9 active minutes
+	}
+
+	// Reference: the pre-refactor per-second loop, one categorical draw
+	// per whole second of every phase.
+	var ref Histogram
+	refRNG := sim.NewRNG(77)
+	for _, dur := range phases {
+		for i := 0; i < int(dur); i++ {
+			ref.Add(bursts[refRNG.Intn(len(bursts))])
+		}
+	}
+
+	// Aggregate: per-phase counts settled by multinomials (split across
+	// two drains, as hosts that power-cycle would see).
+	var agg Histogram
+	aggRNG := sim.NewRNG(78)
+	var pending int64
+	for i, dur := range phases {
+		pending += int64(dur)
+		if i%97 == 0 {
+			agg.AddMultinomial(aggRNG, dist, pending)
+			pending = 0
+		}
+	}
+	agg.AddMultinomial(aggRNG, dist, pending)
+
+	if agg.N != ref.N {
+		t.Fatalf("aggregate sampling changed the burst count: %d vs %d", agg.N, ref.N)
+	}
+
+	// KS distance between the two binned CDFs. With N ~ 2M draws from
+	// ~a dozen bins the distance should be far below 1%; 2% leaves room
+	// for the normal-approximation regime of Binomial.
+	var cumA, cumR, ks float64
+	for i := 0; i < histBins; i++ {
+		cumA += float64(agg.Counts[i]) / float64(agg.N)
+		cumR += float64(ref.Counts[i]) / float64(ref.N)
+		if d := math.Abs(cumA - cumR); d > ks {
+			ks = d
+		}
+	}
+	if ks > 0.02 {
+		t.Fatalf("KS distance %.4f between aggregate and per-second histograms exceeds 0.02", ks)
+	}
+
+	// Percentiles must agree to within one histogram bin (the bin ratio
+	// is 10^(7/256) ≈ 1.065).
+	for _, p := range []float64{0.50, 0.90, 0.95, 0.99} {
+		a, r := agg.Percentile(p), ref.Percentile(p)
+		if ratio := a / r; ratio < 0.93 || ratio > 1.08 {
+			t.Errorf("p%.0f diverged: aggregate %.2f ms vs per-second %.2f ms", p*100, a, r)
+		}
+	}
+}
+
+// TestAddMultinomialExact pins the degenerate cases: zero counts, a
+// single-bin distribution, and exact preservation of n.
+func TestAddMultinomialExact(t *testing.T) {
+	rng := sim.NewRNG(1)
+	var h Histogram
+	h.AddMultinomial(rng, nil, 100)
+	if h.N != 0 {
+		t.Fatal("empty distribution absorbed samples")
+	}
+	one := binBursts([]float64{42})
+	h.AddMultinomial(rng, one, 100)
+	if h.N != 100 || h.Counts[histBin(42)] != 100 {
+		t.Fatalf("single-bin multinomial lost counts: N=%d", h.N)
+	}
+	many := binBursts(syntheticBursts(sim.NewRNG(2), 50))
+	for trial := 0; trial < 50; trial++ {
+		var g Histogram
+		n := int64(rng.Intn(100000))
+		g.AddMultinomial(rng, many, n)
+		if g.N != n {
+			t.Fatalf("multinomial over %d bins produced %d of %d samples", len(many), g.N, n)
+		}
+	}
+}
+
+func TestBinBurstsMatchesAdd(t *testing.T) {
+	bursts := syntheticBursts(sim.NewRNG(3), 200)
+	var direct Histogram
+	for _, v := range bursts {
+		direct.Add(v)
+	}
+	var total float64
+	for _, b := range binBursts(bursts) {
+		if direct.Counts[b.bin] == 0 {
+			t.Fatalf("binBursts invented bin %d", b.bin)
+		}
+		if got := b.p * float64(len(bursts)); math.Abs(got-float64(direct.Counts[b.bin])) > 1e-9 {
+			t.Fatalf("bin %d probability %.6f disagrees with count %d", b.bin, b.p, direct.Counts[b.bin])
+		}
+		total += b.p
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("bin probabilities sum to %v", total)
+	}
+}
+
+func TestHostID(t *testing.T) {
+	cases := map[int]string{
+		0:          "h000000",
+		42:         "h000042",
+		999_999:    "h999999",
+		1_000_000:  "h1000000",
+		12_345_678: "h12345678",
+	}
+	for g, want := range cases {
+		if got := hostID(g); got != want {
+			t.Errorf("hostID(%d) = %q, want %q", g, got, want)
+		}
+	}
+}
+
+func TestValidateBounds(t *testing.T) {
+	scn := quickScn()
+	scn.Machines = MaxMachines + 1
+	if err := scn.Validate(); err == nil {
+		t.Error("oversized population accepted")
+	}
+	scn = quickScn()
+	scn.Minutes = MaxMinutes + 1
+	if err := scn.Validate(); err == nil {
+		t.Error("oversized horizon accepted")
+	}
+	scn = quickScn()
+	scn.Policy = "replication"
+	scn.Machines = 3
+	scn.Replication = 4
+	if err := scn.Validate(); err == nil {
+		t.Error("replication factor above population accepted")
+	}
+	scn.Replication = 3
+	if err := scn.Validate(); err != nil {
+		t.Errorf("replication == population rejected: %v", err)
+	}
+}
+
+// TestSettledCompletionsMatchEventDriven pins the timeFree fast path:
+// a fifo fleet settled arithmetically must report exactly the
+// statistics of the event-per-completion path — the only permitted
+// difference is the Fired event-count probe.
+func TestSettledCompletionsMatchEventDriven(t *testing.T) {
+	scn := quickScn() // fifo by default, churn on
+	scn.Machines = 300
+	run := func() *EnvStats {
+		sr, err := RunShard(scn, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sr.Envs[0]
+	}
+	settled := run()
+	batchCompletions = false
+	defer func() { batchCompletions = true }()
+	eventful := run()
+
+	if settled.Fired >= eventful.Fired {
+		t.Fatalf("settling did not reduce events: %d vs %d", settled.Fired, eventful.Fired)
+	}
+	settled.Fired = eventful.Fired
+	a, _ := json.Marshal(settled)
+	b, _ := json.Marshal(eventful)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("settled fifo stats differ from event-driven:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestMergerStreaming checks the incremental fold: absorbing shards one
+// at a time in index order matches the batch merge, and out-of-order or
+// short folds are rejected.
+func TestMergerStreaming(t *testing.T) {
+	scn := quickScn()
+	shards := make([]*ShardResult, scn.Shards())
+	for i := range shards {
+		var err error
+		if shards[i], err = RunShard(scn, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, err := MergeShards(scn, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMerger(scn)
+	for i, sr := range shards {
+		if err := m.Absorb(i, sr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	streamed, err := m.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Render() != batch.Render() || streamed.CSV() != batch.CSV() {
+		t.Fatal("streamed merge differs from batch merge")
+	}
+
+	bad := NewMerger(scn)
+	if err := bad.Absorb(1, shards[1]); err == nil {
+		t.Fatal("out-of-order absorb accepted")
+	}
+	short := NewMerger(scn)
+	if _, err := short.Finish(); err == nil {
+		t.Fatal("finish before all shards accepted")
+	}
+}

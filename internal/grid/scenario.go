@@ -14,6 +14,14 @@ import (
 // depend on the worker count that happens to execute the shards.
 const ShardSize = 512
 
+// MaxMachines and MaxMinutes bound a scenario to what the simulator is
+// sized (and tested) for: a ten-million-host fleet over up to a virtual
+// year. Validate rejects anything beyond them with the valid range.
+const (
+	MaxMachines = 10_000_000
+	MaxMinutes  = 366 * 24 * 60
+)
+
 // Scenario describes one fleet simulation. The zero value is not
 // runnable; call Normalize (idempotent) to fill defaults and Validate
 // to check it.
@@ -116,6 +124,16 @@ func (s Scenario) Validate() error {
 	}
 	if s.FaultyFrac < 0 || s.FaultyFrac > 1 {
 		return fmt.Errorf("grid: faulty fraction %g outside [0, 1]", s.FaultyFrac)
+	}
+	if s.Machines > MaxMachines {
+		return fmt.Errorf("grid: %d machines outside [1, %d]", s.Machines, MaxMachines)
+	}
+	if s.Minutes > MaxMinutes {
+		return fmt.Errorf("grid: %d minutes outside [1, %d]", s.Minutes, MaxMinutes)
+	}
+	if s.Policy == "replication" && s.Replication > s.Machines {
+		return fmt.Errorf("grid: replication factor %d exceeds the population %d (valid: 1..%d)",
+			s.Replication, s.Machines, s.Machines)
 	}
 	return nil
 }

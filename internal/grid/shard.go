@@ -67,7 +67,15 @@ type envShard struct {
 	sim    *sim.Simulator
 	policy Policy
 	stats  *EnvStats
+	// batch is set when the policy is timeFree: hosts settle unit
+	// completions arithmetically instead of firing completion events.
+	batch bool
 }
+
+// batchCompletions gates the timeFree settle fast path. Tests flip it
+// off to check the settled and event-driven paths produce identical
+// statistics.
+var batchCompletions = true
 
 // RunShard simulates shard i of the scenario: one environment over one
 // slice of the population (shards enumerate environments in scenario
@@ -106,25 +114,35 @@ func runEnvShard(scn Scenario, prof vmm.Profile, shard, lo, hi int) (*EnvStats, 
 		policy: newPolicy(scn, prefix, envSeed(scn.Seed, prof.Name, -1-shard)),
 		stats:  &EnvStats{Env: prof.Name, Hosts: hi - lo},
 	}
+	_, free := env.policy.(timeFree)
+	env.batch = free && batchCompletions
 
+	// Calibrations are resolved once per class actually present in the
+	// shard; every host of the class shares the same read-only pointer.
 	every := boinc.CheckpointCadence(scn.ChunksPerUnit)
-	hosts := make([]*host, 0, hi-lo)
+	cals := make([]*Calibration, len(classes))
+
+	// Hosts live in one contiguous block: a million-host fleet is a few
+	// thousand of these slabs, not millions of individual allocations.
+	hosts := make([]host, hi-lo)
 	for g := lo; g < hi; g++ {
-		class := classFor(classes, scn.Seed, g)
-		cal, err := calibrationFor(class, prof, scn.Seed, every, scn.Quick)
-		if err != nil {
-			return nil, err
+		ci := classIndexFor(classes, scn.Seed, g)
+		class := &classes[ci]
+		if cals[ci] == nil {
+			cal, err := calibrationFor(class, prof, scn.Seed, every, scn.Quick)
+			if err != nil {
+				return nil, err
+			}
+			cals[ci] = &cal
 		}
-		h := &host{
-			env:      env,
-			id:       fmt.Sprintf("h%06d", g),
-			class:    class,
-			cal:      cal,
-			ownerRNG: sim.NewRNG(hostSeed(scn.Seed, g)),
-			envRNG:   sim.NewRNG(envSeed(scn.Seed, prof.Name, g)),
-		}
+		h := &hosts[g-lo]
+		h.env = env
+		h.id = hostID(g)
+		h.class = class
+		h.cal = cals[ci]
+		h.ownerRNG = *sim.NewRNG(hostSeed(scn.Seed, g))
+		h.envRNG = *sim.NewRNG(envSeed(scn.Seed, prof.Name, g))
 		h.faulty = h.ownerRNG.Float64() < scn.FaultyFrac
-		hosts = append(hosts, h)
 
 		if !scn.Churn {
 			h.powerOn(0, h.stationaryActive())
@@ -137,22 +155,24 @@ func runEnvShard(scn Scenario, prof vmm.Profile, shard, lo, hi int) (*EnvStats, 
 		if h.ownerRNG.Float64() < pOn {
 			h.powerOn(0, h.stationaryActive())
 		} else {
-			back := h.exp(class.MeanOffMin)
-			h.sched(back, "power-on", func(at sim.Time) { h.powerOn(at, true) })
+			s.Schedule(h.exp(class.MeanOffMin), "power-on", (*powerOnArm)(h))
 		}
 	}
 
 	s.RunUntil(horizon)
-	for _, h := range hosts {
-		h.finalize(horizon)
+	for i := range hosts {
+		hosts[i].finalize(horizon)
 	}
 	env.stats.Policy = env.policy.Stats()
 	env.stats.Fired = s.Fired()
 	return env.stats, nil
 }
 
-// sched is a small helper so initial power-ons read like the host's
-// own event scheduling.
-func (h *host) sched(at sim.Time, label string, fn func(sim.Time)) {
-	h.env.sim.At(at, label, func() { fn(at) })
+// hostID formats a host's global identity ("h%06d", wider populations
+// growing digits on the left) without fmt's reflection overhead —
+// fleet setup builds millions of these.
+func hostID(g int) string {
+	b := make([]byte, 0, 12)
+	b = append(b, 'h')
+	return string(boinc.AppendPaddedIndex(b, g))
 }

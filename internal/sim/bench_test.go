@@ -1,0 +1,95 @@
+package sim
+
+import "testing"
+
+// The scheduling benchmarks drove the allocation-lean kernel: At allocates
+// an Event plus (typically) a caller-side closure per schedule, while
+// Schedule recycles pooled events through generation-checked handles and
+// amortizes to zero allocations. Run with -benchmem to see the contrast.
+
+func BenchmarkAtClosure(b *testing.B) {
+	b.ReportAllocs()
+	s := New()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(Second, "tick", tick)
+		}
+	}
+	s.After(Second, "tick", tick)
+	b.ResetTimer()
+	s.Run()
+}
+
+type benchTicker struct {
+	s *Simulator
+	n int
+	b *testing.B
+}
+
+func (t *benchTicker) Fire(now Time) {
+	t.n++
+	if t.n < t.b.N {
+		t.s.Schedule(now+Second, "tick", t)
+	}
+}
+
+func BenchmarkSchedulePooled(b *testing.B) {
+	b.ReportAllocs()
+	s := New()
+	tk := &benchTicker{s: s, b: b}
+	s.Schedule(Second, "tick", tk)
+	b.ResetTimer()
+	s.Run()
+}
+
+// BenchmarkCancelReschedule models the fleet's hot pattern: a pending
+// completion event moved on every rate change. Reschedule fixes the heap
+// in place instead of leaving a cancelled tombstone plus a fresh event.
+func BenchmarkCancelReschedule(b *testing.B) {
+	b.ReportAllocs()
+	s := New()
+	tk := &benchTicker{s: s, b: b}
+	h := s.Schedule(Second, "tick", tk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Reschedule(h, s.Now()+Second+Time(i%64)) {
+			h = s.Schedule(s.Now()+Second, "tick", tk)
+		}
+	}
+}
+
+// BenchmarkHeapChurn measures raw push/pop through a populated heap, the
+// per-event floor of every fleet shard.
+func BenchmarkHeapChurn(b *testing.B) {
+	b.ReportAllocs()
+	s := New()
+	r := NewRNG(1)
+	const population = 1024
+	tk := &benchTicker{s: s, b: b}
+	for i := 0; i < population; i++ {
+		s.Schedule(Time(r.Intn(1_000_000)+1), "seed", tk)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(s.now+Time(r.Intn(1_000_000)+1), "churn", tk)
+		s.step()
+	}
+}
+
+func BenchmarkBinomial(b *testing.B) {
+	b.ReportAllocs()
+	r := NewRNG(3)
+	b.Run("small-mean", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r.Binomial(600, 0.01)
+		}
+	})
+	b.Run("normal-approx", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r.Binomial(600, 0.3)
+		}
+	})
+}

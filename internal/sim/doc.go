@@ -1,11 +1,19 @@
 // Package sim provides the deterministic discrete-event simulation kernel
 // underlying the vmdg reproduction.
 //
-// The kernel is intentionally small: a virtual clock, a binary-heap event
+// The kernel is intentionally small: a virtual clock, a 4-ary-heap event
 // queue with stable FIFO ordering for simultaneous events, and a seeded
 // SplitMix64 random number generator. Determinism is a hard requirement —
 // every experiment in the paper is a ratio of two runs, and reproducible
 // ratios demand bit-identical scheduling decisions for a given seed.
+//
+// Two scheduling APIs share the queue. At/After take a closure and
+// return a caller-owned *Event — convenient for the detailed stack,
+// one or two heap allocations per schedule. Schedule/Reschedule take a
+// Caller (closure-free) and recycle events through a per-simulator
+// pool addressed by generation-checked Handles, so steady-state
+// scheduling allocates nothing — the fleet simulator's event budget
+// (hundreds of millions of events per run) depends on it.
 //
 // Higher layers (internal/hw, internal/hostos, internal/vmm) are written in
 // event-callback style rather than goroutine-per-process style: goroutine

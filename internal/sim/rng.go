@@ -76,6 +76,61 @@ func (r *RNG) Jitter(rel float64) float64 {
 	return j
 }
 
+// Binomial returns a draw from Binomial(n, p): the number of successes in
+// n independent trials of probability p. Three regimes keep the cost
+// bounded by O(min(n, np) + 1) instead of O(n): tiny n counts Bernoulli
+// trials exactly, a small mean inverts the CDF from the shorter tail, and
+// a large mean uses the normal approximation with continuity correction
+// (the regime where the approximation error is far below the sampling
+// noise of the counts themselves). The draw consumes a deterministic
+// function of the stream, so results are exactly reproducible per seed.
+func (r *RNG) Binomial(n int64, p float64) int64 {
+	switch {
+	case n <= 0 || p <= 0:
+		return 0
+	case p >= 1:
+		return n
+	}
+	// Work with the smaller tail so inversion stays cheap.
+	if p > 0.5 {
+		return n - r.Binomial(n, 1-p)
+	}
+	if n <= 16 {
+		var k int64
+		for i := int64(0); i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	mean := float64(n) * p
+	if mean < 32 {
+		// CDF inversion via the recurrence
+		// pmf(k+1) = pmf(k) · (n-k)/(k+1) · p/(1-p).
+		u := r.Float64()
+		pmf := math.Exp(float64(n) * math.Log1p(-p))
+		ratio := p / (1 - p)
+		cum := pmf
+		var k int64
+		for u > cum && k < n {
+			pmf *= float64(n-k) / float64(k+1) * ratio
+			cum += pmf
+			k++
+		}
+		return k
+	}
+	sd := math.Sqrt(mean * (1 - p))
+	k := int64(math.Floor(mean + sd*r.Normal(0, 1) + 0.5))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
 // Exp returns an exponentially distributed float64 with the given mean.
 func (r *RNG) Exp(mean float64) float64 {
 	u := r.Float64()

@@ -1,20 +1,27 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Event is a scheduled callback. Events fire in (At, seq) order: ties on At
 // are broken by insertion order, which makes simultaneous events
 // deterministic without requiring callers to avoid them.
+//
+// Events come in two flavours. At/After return a fresh *Event per call and
+// never recycle it, so holding the pointer (and calling Cancel at any later
+// point) is always safe. Schedule draws events from the simulator's free
+// pool and recycles them the moment they fire or their cancellation is
+// reaped; pooled events are addressed through generation-checked Handles,
+// never raw pointers.
 type Event struct {
-	At     Time   // virtual time at which Fn fires
-	Fn     func() // callback; runs with the clock set to At
+	At     Time   // virtual time at which the callback fires
+	Fn     func() // closure callback (At/After); nil for pooled events
 	Label  string // optional, for traces and debugging
+	call   Caller // closure-free callback (Schedule); nil for At/After
 	seq    uint64 // insertion order, breaks ties
 	index  int    // heap index; -1 once popped or cancelled
+	gen    uint32 // bumped on every recycle, validates Handles
 	cancel bool
+	pooled bool
 }
 
 // Cancel marks the event so it will be discarded instead of fired. Cancelling
@@ -25,40 +32,60 @@ func (e *Event) Cancel() { e.cancel = true }
 // Cancelled reports whether Cancel has been called.
 func (e *Event) Cancelled() bool { return e.cancel }
 
-type eventHeap []*Event
+// Caller is the closure-free callback of a pooled event: Fire receives the
+// virtual time the event was scheduled for. Implementations are typically
+// named pointer aliases of the model struct itself (see internal/grid's
+// timer arms), so scheduling allocates nothing at steady state.
+type Caller interface {
+	Fire(now Time)
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+// Handle addresses one scheduled occurrence of a pooled event. A Handle
+// stays safe forever: once the occurrence fires or its cancellation is
+// reaped, the underlying Event is recycled with a bumped generation and the
+// stale Handle's Cancel/Active degrade to no-ops. The zero Handle is valid
+// and inert.
+type Handle struct {
+	e   *Event
+	gen uint32
+}
+
+// Cancel marks the occurrence for discard. Cancelling a fired, reaped, or
+// zero Handle is a no-op — the generation check prevents a stale Handle
+// from cancelling an unrelated occurrence that reused the Event.
+func (h Handle) Cancel() {
+	if h.e != nil && h.e.gen == h.gen {
+		h.e.cancel = true
 	}
-	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// Active reports whether the occurrence is still queued and uncancelled.
+func (h Handle) Active() bool {
+	return h.e != nil && h.e.gen == h.gen && !h.e.cancel && h.e.index >= 0
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+
+// cell is one slot of the event heap: the ordering key is kept inline so
+// comparisons never chase the Event pointer, and sifting moves 24-byte
+// cells instead of swapping pointers three writes at a time.
+type cell struct {
+	at  Time
+	seq uint64
+	e   *Event
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+func cellLess(a, b cell) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
 }
 
 // Simulator owns the virtual clock and the event queue. It is not safe for
 // concurrent use; the entire simulation runs on one goroutine by design.
 type Simulator struct {
 	now     Time
-	queue   eventHeap
+	queue   []cell   // 4-ary min-heap on (at, seq)
+	free    []*Event // recycled pooled events
 	seq     uint64
 	fired   uint64
 	running bool
@@ -86,6 +113,89 @@ func (s *Simulator) Pending() int { return len(s.queue) }
 // A nil tracer disables tracing.
 func (s *Simulator) SetTracer(fn func(Time, string)) { s.tracer = fn }
 
+// The heap is hand-rolled rather than container/heap because event
+// push/pop is the innermost loop of every simulation: interface dispatch,
+// binary fan-out, and pointer-swap write barriers together cost ~2× on
+// the hot path. A 4-ary heap halves the depth (4 levels for a thousand
+// events), and the hole-style sifts below move each displaced cell once
+// instead of swapping it three writes at a time.
+
+// up sifts cell c toward the root from the hole at i.
+func (s *Simulator) up(i int, c cell) {
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !cellLess(c, s.queue[parent]) {
+			break
+		}
+		s.queue[i] = s.queue[parent]
+		s.queue[i].e.index = i
+		i = parent
+	}
+	s.queue[i] = c
+	c.e.index = i
+}
+
+// down sifts cell c toward the leaves from the hole at i.
+func (s *Simulator) down(i int, c cell) {
+	n := len(s.queue)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for j := first + 1; j < last; j++ {
+			if cellLess(s.queue[j], s.queue[best]) {
+				best = j
+			}
+		}
+		if !cellLess(s.queue[best], c) {
+			break
+		}
+		s.queue[i] = s.queue[best]
+		s.queue[i].e.index = i
+		i = best
+	}
+	s.queue[i] = c
+	c.e.index = i
+}
+
+// fix restores the heap around i after its key changed in place.
+func (s *Simulator) fix(i int) {
+	c := s.queue[i]
+	s.down(i, c)
+	if c.e.index == i {
+		s.up(i, c)
+	}
+}
+
+// push inserts e and assigns its sequence number.
+func (s *Simulator) push(e *Event) {
+	e.seq = s.seq
+	s.seq++
+	c := cell{at: e.At, seq: e.seq, e: e}
+	s.queue = append(s.queue, c)
+	s.up(len(s.queue)-1, c)
+}
+
+// pop removes and returns the earliest event.
+func (s *Simulator) pop() *Event {
+	e := s.queue[0].e
+	n := len(s.queue) - 1
+	last := s.queue[n]
+	s.queue[n] = cell{}
+	s.queue = s.queue[:n]
+	if n > 0 {
+		s.down(0, last)
+	}
+	e.index = -1
+	return e
+}
+
 // At schedules fn to run at absolute virtual time at. Scheduling in the past
 // panics: it always indicates a model bug, and silently reordering time
 // would corrupt every measurement downstream.
@@ -93,9 +203,8 @@ func (s *Simulator) At(at Time, label string, fn func()) *Event {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling event %q at %v before now %v", label, at, s.now))
 	}
-	e := &Event{At: at, Fn: fn, Label: label, seq: s.seq}
-	s.seq++
-	heap.Push(&s.queue, e)
+	e := &Event{At: at, Fn: fn, Label: label}
+	s.push(e)
 	return e
 }
 
@@ -107,6 +216,60 @@ func (s *Simulator) After(delay Time, label string, fn func()) *Event {
 	return s.At(s.now+delay, label, fn)
 }
 
+// Schedule schedules c.Fire(at) at absolute virtual time at on a pooled
+// event: the Event is drawn from the simulator's free pool and recycled as
+// soon as it fires or its cancellation is reaped, so steady-state
+// scheduling allocates nothing. The returned Handle is the only valid way
+// to cancel the occurrence.
+func (s *Simulator) Schedule(at Time, label string, c Caller) Handle {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event %q at %v before now %v", label, at, s.now))
+	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.cancel = false
+	} else {
+		e = &Event{pooled: true}
+	}
+	e.At, e.Label, e.call = at, label, c
+	s.push(e)
+	return Handle{e: e, gen: e.gen}
+}
+
+// Reschedule moves a still-pending pooled occurrence to a new time in
+// place (an O(log n) heap fix — cheaper than Cancel plus Schedule, and it
+// leaves no cancelled tombstone behind). It reports false when the Handle
+// is stale, cancelled, or already fired; the caller should then Schedule a
+// fresh occurrence. The occurrence keeps its original insertion sequence.
+func (s *Simulator) Reschedule(h Handle, at Time) bool {
+	if !h.Active() {
+		return false
+	}
+	if at < s.now {
+		panic(fmt.Sprintf("sim: rescheduling event %q to %v before now %v", h.e.Label, at, s.now))
+	}
+	e := h.e
+	e.At = at
+	s.queue[e.index].at = at
+	s.fix(e.index)
+	return true
+}
+
+// release recycles a pooled event after it fired or its cancellation was
+// reaped. Bumping the generation invalidates every outstanding Handle.
+func (s *Simulator) release(e *Event) {
+	if !e.pooled {
+		return
+	}
+	e.gen++
+	e.call = nil
+	e.cancel = false
+	s.free = append(s.free, e)
+}
+
 // Stop makes Run return after the currently executing event completes.
 func (s *Simulator) Stop() { s.stopped = true }
 
@@ -114,8 +277,9 @@ func (s *Simulator) Stop() { s.stopped = true }
 // queue is exhausted.
 func (s *Simulator) step() bool {
 	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
+		e := s.pop()
 		if e.cancel {
+			s.release(e)
 			continue
 		}
 		s.now = e.At
@@ -123,7 +287,15 @@ func (s *Simulator) step() bool {
 		if s.tracer != nil && e.Label != "" {
 			s.tracer(s.now, e.Label)
 		}
-		e.Fn()
+		if e.pooled {
+			// Recycle before firing: the callback may immediately
+			// schedule again and get this very event back.
+			c, at := e.call, e.At
+			s.release(e)
+			c.Fire(at)
+		} else {
+			e.Fn()
+		}
 		return true
 	}
 	return false
@@ -166,11 +338,11 @@ func (s *Simulator) RunUntil(deadline Time) {
 // peek returns the time of the earliest live event.
 func (s *Simulator) peek() (Time, bool) {
 	for len(s.queue) > 0 {
-		if s.queue[0].cancel {
-			heap.Pop(&s.queue)
+		if s.queue[0].e.cancel {
+			s.release(s.pop())
 			continue
 		}
-		return s.queue[0].At, true
+		return s.queue[0].at, true
 	}
 	return 0, false
 }

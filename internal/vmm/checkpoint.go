@@ -1,8 +1,7 @@
 package vmm
 
 import (
-	"bytes"
-	"encoding/gob"
+	"encoding/binary"
 	"fmt"
 
 	"vmdg/internal/sim"
@@ -41,22 +40,131 @@ func (vm *VM) Checkpoint(payload []byte) *Checkpoint {
 	return ck
 }
 
+// ckVersion tags the wire layout of an encoded checkpoint. The codec is
+// hand-rolled varint framing rather than encoding/gob: a churning
+// million-host fleet evicts VMs hundreds of millions of times, and gob
+// recompiles its type descriptors on every fresh Decoder — two orders
+// of magnitude more work than the checkpoint's actual bytes.
+const ckVersion = 1
+
 // Encode serializes the checkpoint for transport to another machine.
 func (ck *Checkpoint) Encode() ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
-		return nil, fmt.Errorf("vmm: encoding checkpoint of %s: %w", ck.VMName, err)
+	n := 1 + 2*binary.MaxVarintLen64 + // version + times
+		2*binary.MaxVarintLen64 + len(ck.VMName) + len(ck.ProfileName) +
+		binary.MaxVarintLen64 + len(ck.OverlayTable)*2*binary.MaxVarintLen64 +
+		binary.MaxVarintLen64 + // OverlayBytes
+		binary.MaxVarintLen64 + len(ck.Payload)
+	b := make([]byte, 1, n)
+	b[0] = ckVersion
+	b = appendString(b, ck.VMName)
+	b = appendString(b, ck.ProfileName)
+	b = binary.AppendVarint(b, int64(ck.TakenAtHost))
+	b = binary.AppendVarint(b, int64(ck.TakenAtGuest))
+	b = binary.AppendUvarint(b, uint64(len(ck.OverlayTable)))
+	for _, pair := range ck.OverlayTable {
+		b = binary.AppendVarint(b, pair[0])
+		b = binary.AppendVarint(b, pair[1])
 	}
-	return buf.Bytes(), nil
+	b = binary.AppendVarint(b, ck.OverlayBytes)
+	b = binary.AppendUvarint(b, uint64(len(ck.Payload)))
+	b = append(b, ck.Payload...)
+	return b, nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
 }
 
 // DecodeCheckpoint reverses Encode.
 func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
-	var ck Checkpoint
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ck); err != nil {
-		return nil, fmt.Errorf("vmm: decoding checkpoint: %w", err)
+	d := ckDecoder{buf: data}
+	if v := d.byte(); v != ckVersion {
+		return nil, fmt.Errorf("vmm: decoding checkpoint: unknown version %d", v)
 	}
-	return &ck, nil
+	ck := &Checkpoint{}
+	ck.VMName = d.string()
+	ck.ProfileName = d.string()
+	ck.TakenAtHost = sim.Time(d.varint())
+	ck.TakenAtGuest = sim.Time(d.varint())
+	if n := d.uvarint(); n > 0 {
+		if 2*n > uint64(len(d.buf)) { // each pair needs ≥ 2 bytes
+			return nil, fmt.Errorf("vmm: decoding checkpoint: overlay table length %d exceeds data", n)
+		}
+		ck.OverlayTable = make([][2]int64, n)
+		for i := range ck.OverlayTable {
+			ck.OverlayTable[i][0] = d.varint()
+			ck.OverlayTable[i][1] = d.varint()
+		}
+	}
+	ck.OverlayBytes = d.varint()
+	ck.Payload = d.bytes()
+	if d.err != nil {
+		return nil, fmt.Errorf("vmm: decoding checkpoint: %w", d.err)
+	}
+	return ck, nil
+}
+
+// ckDecoder reads the checkpoint wire format, latching the first error.
+type ckDecoder struct {
+	buf []byte
+	err error
+}
+
+var errCkTruncated = fmt.Errorf("truncated checkpoint")
+
+func (d *ckDecoder) byte() byte {
+	if d.err != nil || len(d.buf) < 1 {
+		d.err = errCkTruncated
+		return 0
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v
+}
+
+func (d *ckDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.err = errCkTruncated
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *ckDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = errCkTruncated
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *ckDecoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)) {
+		d.err = errCkTruncated
+		return nil
+	}
+	out := append([]byte(nil), d.buf[:n]...)
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *ckDecoder) string() string {
+	return string(d.bytes())
 }
 
 // Restore applies a checkpoint to a freshly constructed (not yet powered)
