@@ -89,7 +89,7 @@ func cmdBench(args []string) error {
 	// pre-refactor baseline paid for them too, so the speedup compares
 	// like with like.
 	runner := &engine.Runner{Workers: *workers}
-	runner.ShardDone = progressLine("bench")
+	runner.OnEvent = progressLine("bench")
 	cfg := core.Config{Seed: *seed}
 	exp := engine.FleetScenario("fleet", "benchmark fleet scenario", scn)
 

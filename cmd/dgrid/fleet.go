@@ -16,24 +16,27 @@ import (
 // scale: a desktop grid of volunteer machines (heterogeneous hardware,
 // owners arriving and leaving) donating cycles to an
 // Einstein@home-style project through sandboxed VMs, under a chosen
-// server scheduling policy. The simulation runs through the experiment
-// engine, so shards spread across the worker pool and completed shards
-// are served from the content-keyed cache; output is bit-identical for
-// any -workers value at a fixed seed.
+// server scheduling policy. The command is a thin adapter over
+// grid.Spec — each flag pins one spec axis to a single value — so a
+// fleet run is exactly a one-point sweep: same validation, same cache
+// scoping, same engine path, and `dgrid sweep -set axis=...` widens
+// any of these flags into a comparison without re-running this point.
 func cmdFleet(args []string) error {
-	// Flag defaults come from the scenario's own normalization, so the
-	// help text can never drift from what an unset field actually runs.
-	def := grid.Scenario{}.Normalize()
+	// Flag defaults come from the spec's own normalization, so the
+	// help text can never drift from what an unset field actually runs
+	// (the spec layer owns the seed and faulty-fraction defaults that
+	// Scenario.Normalize cannot express).
+	def := grid.Spec{}.Normalize()
 	fs := flag.NewFlagSet("dgrid fleet", flag.ExitOnError)
-	machines := fs.Int("machines", def.Machines, "volunteer machines in the fleet")
-	minutes := fs.Int("minutes", def.Minutes, "virtual minutes to simulate")
+	machines := fs.Int("machines", def.Machines[0], "volunteer machines in the fleet")
+	minutes := fs.Int("minutes", def.Minutes[0], "virtual minutes to simulate")
 	env := fs.String("env", "", "single VM environment (default: the paper's four)")
-	seed := fs.Uint64("seed", 1, "simulation seed (runs are deterministic per seed)")
-	churn := fs.Bool("churn", false, "enable volunteer availability churn (power on/off sessions)")
-	policy := fs.String("policy", def.Policy, "scheduling policy: "+strings.Join(grid.Policies(), ", "))
-	replication := fs.Int("replication", def.Replication, "quorum size (replication policy)")
-	deadline := fs.Float64("deadline", def.DeadlineMin, "work-unit deadline in virtual minutes (deadline policy)")
-	faulty := fs.Float64("faulty", 0.02, "fraction of hosts returning corrupted results")
+	seed := fs.Uint64("seed", def.Seed, "simulation seed (runs are deterministic per seed)")
+	churn := fs.Bool("churn", def.Churn[0], "enable volunteer availability churn (power on/off sessions)")
+	policy := fs.String("policy", def.Policy[0], "scheduling policy: "+strings.Join(grid.Policies(), ", "))
+	replication := fs.Int("replication", def.Replication[0], "quorum size (replication policy)")
+	deadline := fs.Float64("deadline", def.DeadlineMin[0], "work-unit deadline in virtual minutes (deadline policy)")
+	faulty := fs.Float64("faulty", def.FaultyFrac[0], "fraction of hosts returning corrupted results")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	cache := fs.String("cache", "", "shard cache directory; 'off' disables (default: the user cache dir)")
 	quick := fs.Bool("quick", false, "trim calibration windows (faster, noisier)")
@@ -51,32 +54,45 @@ func cmdFleet(args []string) error {
 		return err
 	}
 
-	scn := grid.Scenario{
-		Machines:    *machines,
-		Minutes:     *minutes,
-		Churn:       *churn,
-		Policy:      *policy,
-		Replication: *replication,
-		DeadlineMin: *deadline,
-		FaultyFrac:  *faulty,
+	sp := grid.Spec{
+		Version:     grid.SpecVersion,
+		Seed:        *seed,
+		Quick:       *quick,
+		Machines:    []int{*machines},
+		Minutes:     []int{*minutes},
+		Churn:       []bool{*churn},
+		Policy:      []string{*policy},
+		Replication: []int{*replication},
+		DeadlineMin: []float64{*deadline},
+		FaultyFrac:  []float64{*faulty},
 	}
 	if *env != "" {
-		scn.Envs = []string{*env}
+		sp.Envs = []string{*env}
 	}
-	// Validate rejects unknown environments with the valid name list,
-	// oversized populations/horizons, and replication beyond the
-	// population.
-	if err := scn.Validate(); err != nil {
+	// Spec validation covers what scenario validation did — unknown
+	// policies and environments with the valid name lists, oversized
+	// populations/horizons, replication beyond the population — plus
+	// explicit non-positive values that normalization would otherwise
+	// silently replace with defaults.
+	if err := sp.Validate(); err != nil {
 		return err
 	}
+	pts, err := sp.Points()
+	if err != nil {
+		return err
+	}
+	scn := pts[0].Scenario
 
 	runner, err := newRunner(*workers, *cache, *verbose)
 	if err != nil {
 		return err
 	}
 	if !*verbose {
-		runner.ShardDone = progressLine("fleet")
+		runner.OnEvent = progressLine("fleet")
 	}
+	// The config takes the flag values directly (not the normalized
+	// spec's): an explicit -seed 0 runs seed 0, as it always has —
+	// only in spec *files* does an absent seed mean grid.DefaultSeed.
 	cfg := core.Config{Seed: *seed, Quick: *quick}
 	exp := engine.FleetScenario("fleet", "command-line fleet scenario", scn)
 	outcomes, stats, err := runner.Run(cfg, []engine.Experiment{exp})
@@ -104,8 +120,8 @@ func cmdFleet(args []string) error {
 // validateFleetFlags rejects out-of-range flag values before scenario
 // normalization can paper over them, with messages that state the valid
 // range. The replication bound applies only to the replication policy —
-// the flag's default is inert elsewhere. Scenario.Validate re-checks
-// the upper bounds (and replication against the population) after
+// the flag's default is inert elsewhere. Spec.Validate re-checks the
+// upper bounds (and replication against the population) after
 // normalization.
 func validateFleetFlags(machines, minutes, replication int, policy string) error {
 	if machines < 1 || machines > grid.MaxMachines {
@@ -120,13 +136,17 @@ func validateFleetFlags(machines, minutes, replication int, policy string) error
 	return nil
 }
 
-// progressLine returns a ShardDone hook that keeps one stderr line
-// updated while a big fleet computes. Output is throttled (~10 Hz) and
+// progressLine returns an OnEvent hook that keeps one stderr line
+// updated while a big run computes. Output is throttled (~10 Hz) and
 // goes to stderr only, so stdout stays bit-identical across worker
-// counts; the line is erased once the run completes.
-func progressLine(what string) func(done, total int) {
+// counts; the line is erased once the last task folds.
+func progressLine(what string) func(engine.Event) {
 	var last time.Time
-	return func(done, total int) {
+	return func(ev engine.Event) {
+		if ev.Kind == engine.EventExperimentMerged {
+			return
+		}
+		done, total := ev.Done, ev.Total
 		if total < 32 {
 			return // small runs finish before a line is worth drawing
 		}

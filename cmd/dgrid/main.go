@@ -12,6 +12,12 @@
 //	                                # churn-aware volunteer-fleet simulation
 //	dgrid fleet -machines 1000000 -minutes 480
 //	                                # million-host fleet, a working day
+//	dgrid sweep -spec examples/sweep.json
+//	                                # declarative scenario sweep: the spec's
+//	                                # multi-value axes expand into a cached,
+//	                                # axis-keyed cartesian grid of fleets
+//	dgrid sweep -set policy=fifo,deadline -set machines=256..1024*2
+//	                                # the same, from axis overrides alone
 //	dgrid bench -out BENCH_fleet.json
 //	                                # fleet throughput benchmark artifact
 //	dgrid cache -prune              # shard-cache retention maintenance
@@ -52,6 +58,8 @@ func main() {
 		err = cmdReport(os.Args[2:])
 	case "fleet":
 		err = cmdFleet(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
 	case "cache":
@@ -77,6 +85,7 @@ commands:
   run <names|all>  run experiments (comma-separated names) on a worker pool
   report           regenerate the paper-vs-measured EXPERIMENTS.md tables
   fleet            simulate a churn-aware volunteer desktop-grid fleet
+  sweep            run a declarative scenario sweep (spec file / -set axes)
   bench            benchmark the fleet pipeline, write BENCH_fleet.json
   cache            show, prune, or clear the on-disk shard cache
   help             show this message

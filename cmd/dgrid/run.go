@@ -68,8 +68,15 @@ func newRunner(workers int, cache string, verbose bool) (*engine.Runner, error) 
 		fc.Prune(engine.DefaultMaxAge, engine.DefaultMaxBytes)
 	}
 	if verbose {
-		r.Progress = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "dgrid: "+format+"\n", args...)
+		r.OnEvent = func(ev engine.Event) {
+			switch ev.Kind {
+			case engine.EventShardComputed:
+				fmt.Fprintf(os.Stderr, "dgrid: ran %s shard %d/%d\n", ev.Experiment, ev.Shard+1, ev.Shards)
+			case engine.EventShardCached:
+				fmt.Fprintf(os.Stderr, "dgrid: cached %s shard %d/%d\n", ev.Experiment, ev.Shard+1, ev.Shards)
+			case engine.EventExperimentMerged:
+				fmt.Fprintf(os.Stderr, "dgrid: merged %s\n", ev.Experiment)
+			}
 		}
 	}
 	return r, nil

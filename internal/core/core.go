@@ -45,6 +45,14 @@ type Config struct {
 // DefaultConfig returns the standard reproduction configuration.
 func DefaultConfig() Config { return Config{Seed: 1, Reps: 3} }
 
+// Provenance canonicalizes the config fields that can change an
+// experiment payload — the config's contribution to every shard cache
+// key. The engine embeds it verbatim in its keys, so a stored payload
+// records exactly which configuration produced it.
+func (c Config) Provenance() string {
+	return fmt.Sprintf("seed=%d|reps=%d|quick=%t", c.Seed, c.reps(), c.Quick)
+}
+
 func (c Config) reps() int {
 	if c.Reps <= 0 {
 		return 3

@@ -48,13 +48,14 @@ var buildFingerprint = sync.OnceValue(func() string {
 })
 
 // CacheKey derives the content key of one shard: the producing build,
-// the experiment's cache scope, and every config field that can change
-// the shard's payload. Experiments sharing a scope (Figures 7 and 8)
-// produce identical keys and therefore share cached work.
+// the experiment's cache scope, and the config's provenance string
+// (every config field that can change the shard's payload; see
+// core.Config.Provenance). Experiments sharing a scope (Figures 7 and
+// 8) produce identical keys and therefore share cached work.
 func CacheKey(scope string, cfg core.Config, shard int) string {
 	cfg = normalize(cfg)
-	return fmt.Sprintf("%s|%s|%s|seed=%d|reps=%d|quick=%t|shard=%d",
-		cacheVersion, buildFingerprint(), scope, cfg.Seed, cfg.Reps, cfg.Quick, shard)
+	return fmt.Sprintf("%s|%s|%s|%s|shard=%d",
+		cacheVersion, buildFingerprint(), scope, cfg.Provenance(), shard)
 }
 
 // Cache stores shard payloads by content key. Implementations must be

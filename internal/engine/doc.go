@@ -22,4 +22,14 @@
 // The built-in catalog (see catalog.go) registers the nine paper figures
 // and the ablation/sensitivity/extension experiments in the Default
 // registry; new experiments register with Register.
+//
+// Above single scenarios sits the sweep layer: NewSweep expands a
+// declarative grid.Spec (a family of fleet scenarios with list-valued
+// axes) into its cartesian grid and runs the whole grid as one
+// experiment. Each sweep point is its own cache scope (ShardScoper),
+// so widening an axis re-simulates only the new points, and the merge
+// emits a single table, CSV, and JSON artifact keyed by the swept axis
+// values. Runner progress is observable through the typed OnEvent
+// callback: one shard event per task, in deterministic order, then one
+// merge event per experiment.
 package engine

@@ -23,6 +23,10 @@ const (
 	// KindFleet is a desktop-grid fleet scenario (internal/grid):
 	// thousands of churning volunteer hosts under a scheduling policy.
 	KindFleet Kind = "fleet"
+	// KindSweep is a declarative scenario sweep (grid.Spec): the
+	// cartesian grid over a spec's swept axes, merged into one
+	// cross-scenario table.
+	KindSweep Kind = "sweep"
 )
 
 // Experiment is one entry of the registry: a named, sharded, mergeable

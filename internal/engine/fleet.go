@@ -52,13 +52,32 @@ func (f fleetExperiment) resolve(cfg core.Config) []fleetVariant {
 }
 
 // Scope keys the cache by every scenario parameter (Seed and Quick are
-// contributed by CacheKey itself).
+// contributed by CacheKey itself). It is descriptive only: the runner
+// keys fleet shards per variant through ShardScope, so variants keep
+// their cached shards when the list around them changes.
 func (f fleetExperiment) Scope() string {
 	var parts []string
 	for _, v := range f.variants {
-		parts = append(parts, v.label+"{"+v.scn.Normalize().Key()+"}")
+		parts = append(parts, "{"+v.scn.Normalize().Key()+"}")
 	}
 	return "fleet|" + strings.Join(parts, ";")
+}
+
+// ShardScopes keys each shard by its own variant's scenario (plus the
+// variant-local shard index): the scope of a variant is independent of
+// its position and of the labels or siblings around it. A sweep point,
+// a registered multi-variant experiment, and an ad-hoc `dgrid fleet`
+// run of the same scenario therefore all share cached shards.
+func (f fleetExperiment) ShardScopes(cfg core.Config) (scopes []string, locals []int) {
+	for _, v := range f.resolve(cfg) {
+		scope := "fleet|{" + v.scn.Key() + "}"
+		n := v.scn.Shards()
+		for local := 0; local < n; local++ {
+			scopes = append(scopes, scope)
+			locals = append(locals, local)
+		}
+	}
+	return scopes, locals
 }
 
 func (f fleetExperiment) Shards(cfg core.Config) int {
@@ -110,17 +129,13 @@ type fleetVariantResult struct {
 // order and released immediately, so a thousand-shard fleet holds one
 // decoded shard at a time instead of all of them.
 func (f fleetExperiment) Fold(cfg core.Config) (Fold, error) {
-	vs := f.resolve(cfg)
-	fd := &fleetFold{exp: f, vs: vs, mergers: make([]*grid.Merger, len(vs))}
-	for i, v := range vs {
-		fd.mergers[i] = grid.NewMerger(v.scn)
-	}
-	return fd, nil
+	return &fleetFold{exp: f, variantFold: newVariantFold(f.resolve(cfg))}, nil
 }
 
-// fleetFold streams flat shard indices onto the per-variant mergers.
-type fleetFold struct {
-	exp     fleetExperiment
+// variantFold streams flat shard indices onto per-variant mergers —
+// the absorb half shared by fleet experiments and sweeps (whose shard
+// spaces both concatenate independent scenarios).
+type variantFold struct {
 	vs      []fleetVariant
 	mergers []*grid.Merger
 	next    int // next expected flat shard
@@ -128,7 +143,15 @@ type fleetFold struct {
 	local   int // next local shard within vs[vi]
 }
 
-func (fd *fleetFold) Absorb(shard int, payload []byte) error {
+func newVariantFold(vs []fleetVariant) variantFold {
+	fd := variantFold{vs: vs, mergers: make([]*grid.Merger, len(vs))}
+	for i, v := range vs {
+		fd.mergers[i] = grid.NewMerger(v.scn)
+	}
+	return fd
+}
+
+func (fd *variantFold) Absorb(shard int, payload []byte) error {
 	if shard != fd.next {
 		return fmt.Errorf("fleet shard %d absorbed out of order (want %d)", shard, fd.next)
 	}
@@ -155,15 +178,37 @@ func (fd *fleetFold) Absorb(shard int, payload []byte) error {
 	return nil
 }
 
-func (fd *fleetFold) Finish() (*Outcome, error) {
-	payload := fleetPayload{Name: fd.exp.name}
-	var text, csv strings.Builder
-	csv.WriteString(grid.CSVHeader())
-	for i, v := range fd.vs {
+// results completes every merger and returns one fleet result per
+// variant.
+func (fd *variantFold) results() ([]*grid.FleetResult, error) {
+	frs := make([]*grid.FleetResult, len(fd.vs))
+	for i := range fd.vs {
 		fr, err := fd.mergers[i].Finish()
 		if err != nil {
 			return nil, err
 		}
+		frs[i] = fr
+	}
+	return frs, nil
+}
+
+// fleetFold renders the absorbed variants as the fleet report: one
+// table per variant.
+type fleetFold struct {
+	exp fleetExperiment
+	variantFold
+}
+
+func (fd *fleetFold) Finish() (*Outcome, error) {
+	frs, err := fd.results()
+	if err != nil {
+		return nil, err
+	}
+	payload := fleetPayload{Name: fd.exp.name}
+	var text, csv strings.Builder
+	csv.WriteString(grid.CSVHeader())
+	for i, v := range fd.vs {
+		fr := frs[i]
 		payload.Variants = append(payload.Variants, fleetVariantResult{Label: v.label, Fleet: fr})
 		if text.Len() > 0 {
 			text.WriteByte('\n')

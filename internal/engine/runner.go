@@ -23,20 +23,80 @@ type Stats struct {
 	Elapsed time.Duration
 }
 
+// EventKind classifies a progress Event.
+type EventKind uint8
+
+const (
+	// EventShardComputed: a shard was simulated on the pool.
+	EventShardComputed EventKind = iota
+	// EventShardCached: a shard was supplied from the cache without
+	// compute.
+	EventShardCached
+	// EventExperimentMerged: an experiment's outcome is complete.
+	EventExperimentMerged
+)
+
+// Event is one progress notification from a Run call. Shard events
+// carry the shard's index within its experiment plus the run-wide task
+// counters; merge events carry the experiment counters instead.
+type Event struct {
+	// Kind says what completed.
+	Kind EventKind
+	// Experiment names the experiment the event belongs to. A task
+	// shared by several experiments (equal cache keys) is attributed
+	// to the first.
+	Experiment string
+	// Shard and Shards locate a shard event within its experiment.
+	Shard, Shards int
+	// Done and Total count tasks folded so far across the whole run
+	// (shard events), or experiments merged so far (merge events).
+	Done, Total int
+}
+
 // Runner executes experiments across a worker pool.
 type Runner struct {
 	// Workers is the pool size; <= 0 means GOMAXPROCS.
 	Workers int
 	// Cache, if non-nil, supplies and stores shard payloads.
 	Cache Cache
-	// Progress, if non-nil, receives one line per completed shard and
-	// per merged experiment. It may be called from multiple goroutines.
-	Progress func(format string, args ...any)
-	// ShardDone, if non-nil, is called after each task is folded or
-	// stored, with the number of tasks finished so far and the total.
-	// It is always called from the collector goroutine (the caller's),
-	// in task order, so implementations need no locking.
-	ShardDone func(done, total int)
+	// OnEvent, if non-nil, observes the run's progress: exactly one
+	// shard event per task, then one merge event per experiment. It is
+	// always called from the collector goroutine (the caller's), in
+	// deterministic task order for every worker count, so
+	// implementations need no locking.
+	OnEvent func(Event)
+}
+
+// ShardScoper lets an experiment give each shard its own cache scope.
+// Experiments whose shard space concatenates independent sub-scenarios
+// (fleet variants, sweep points) implement it so a sub-scenario's
+// cached shards survive re-indexing when the list around them changes:
+// widening a sweep axis inserts new points without re-keying — and
+// therefore without re-simulating — any point that already ran.
+type ShardScoper interface {
+	Experiment
+	// ShardScopes maps every flat shard index to its cache scope and
+	// scope-local shard index, in one call so the runner resolves the
+	// experiment's sub-scenarios once, not once per shard. Each scope
+	// must describe everything RunShard computes for that shard except
+	// the fields the config's provenance already carries.
+	ShardScopes(cfg core.Config) (scopes []string, locals []int)
+}
+
+// shardScopes resolves the cache identity of an experiment's shards:
+// per-shard for ShardScoper experiments, the experiment-wide scope
+// with flat indices otherwise.
+func shardScopes(e Experiment, cfg core.Config, n int) (scopes []string, locals []int) {
+	if ss, ok := e.(ShardScoper); ok {
+		return ss.ShardScopes(cfg)
+	}
+	scopes = make([]string, n)
+	locals = make([]int, n)
+	scope := e.Scope()
+	for s := 0; s < n; s++ {
+		scopes[s], locals[s] = scope, s
+	}
+	return scopes, locals
 }
 
 // slot addresses one (experiment, shard) payload cell.
@@ -55,10 +115,12 @@ type task struct {
 }
 
 // taskResult carries one computed payload from a worker to the
-// collector; payload is nil when the task was skipped after a failure.
+// collector; payload is nil when the task was skipped after a failure,
+// and cached marks payloads served without compute.
 type taskResult struct {
 	ti      int
 	payload []byte
+	cached  bool
 }
 
 // reorderWindow bounds how far task dispatch may run ahead of the
@@ -103,20 +165,26 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 	// folds absorb and drop their payloads instead.
 	payloads := make([][][]byte, len(exps))
 	folds := make([]Fold, len(exps))
+	shardCounts := make([]int, len(exps))
 	for i, e := range exps {
 		n := e.Shards(cfg)
+		shardCounts[i] = n
 		if f, ok := e.(Folder); ok {
 			fold, err := f.Fold(cfg)
 			if err != nil {
 				return nil, Stats{}, fmt.Errorf("engine: %s fold: %w", e.Name(), err)
 			}
-			folds[i] = fold
+			// The wrapper re-establishes shard order when equal cache
+			// keys collapse shards of this experiment into tasks that
+			// complete out of its shard order (see orderedFold).
+			folds[i] = newOrderedFold(fold)
 		} else {
 			payloads[i] = make([][]byte, n)
 		}
+		scopes, locals := shardScopes(e, cfg, n)
 		for s := 0; s < n; s++ {
 			nSlots++
-			k := CacheKey(e.Scope(), cfg, s)
+			k := CacheKey(scopes[s], cfg, locals[s])
 			ti, ok := byKey[k]
 			if !ok {
 				ti = len(tasks)
@@ -182,8 +250,7 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 				if r.Cache != nil {
 					if b, ok := r.Cache.Get(t.key); ok {
 						hits.Add(int64(len(t.dests)))
-						r.progress("cached %s shard %d/%d", e.Name(), first.shard+1, e.Shards(cfg))
-						results <- taskResult{ti: ti, payload: b}
+						results <- taskResult{ti: ti, payload: b, cached: true}
 						continue
 					}
 				}
@@ -201,7 +268,6 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 				if r.Cache != nil {
 					r.Cache.Put(t.key, b)
 				}
-				r.progress("ran %s shard %d/%d", e.Name(), first.shard+1, e.Shards(cfg))
 				results <- taskResult{ti: ti, payload: b}
 			}
 		}()
@@ -210,7 +276,7 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 	// Collector: re-establishes task order behind the pool and folds the
 	// contiguous prefix. pending holds only out-of-order payloads, and
 	// the permit flow keeps it no larger than the reorder window.
-	pending := make(map[int][]byte, window)
+	pending := make(map[int]taskResult, window)
 	contig := 0
 	deliver := func(ti int, payload []byte) {
 		if failed.Load() || payload == nil {
@@ -229,18 +295,30 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 	}
 	for received := 0; received < len(tasks); received++ {
 		res := <-results
-		pending[res.ti] = res.payload
+		pending[res.ti] = res
 		for {
-			payload, ok := pending[contig]
+			tr, ok := pending[contig]
 			if !ok {
 				break
 			}
 			delete(pending, contig)
-			deliver(contig, payload)
+			deliver(contig, tr.payload)
 			contig++
 			permits <- struct{}{}
-			if r.ShardDone != nil {
-				r.ShardDone(contig, len(tasks))
+			if r.OnEvent != nil {
+				kind := EventShardComputed
+				if tr.cached {
+					kind = EventShardCached
+				}
+				first := tasks[contig-1].dests[0]
+				r.OnEvent(Event{
+					Kind:       kind,
+					Experiment: exps[first.exp].Name(),
+					Shard:      first.shard,
+					Shards:     shardCounts[first.exp],
+					Done:       contig,
+					Total:      len(tasks),
+				})
 			}
 		}
 	}
@@ -271,7 +349,15 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 			return nil, stats, fmt.Errorf("engine: %s merge: %w", e.Name(), err)
 		}
 		outcomes[i] = o
-		r.progress("merged %s", e.Name())
+		if r.OnEvent != nil {
+			r.OnEvent(Event{
+				Kind:       EventExperimentMerged,
+				Experiment: e.Name(),
+				Shards:     shardCounts[i],
+				Done:       i + 1,
+				Total:      len(exps),
+			})
+		}
 	}
 	stats.Elapsed = time.Since(start)
 	return outcomes, stats, nil
@@ -284,10 +370,4 @@ func (r *Runner) RunNames(cfg core.Config, names string) ([]*Outcome, Stats, err
 		return nil, Stats{}, err
 	}
 	return r.Run(cfg, exps)
-}
-
-func (r *Runner) progress(format string, args ...any) {
-	if r.Progress != nil {
-		r.Progress(format, args...)
-	}
 }

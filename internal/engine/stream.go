@@ -1,6 +1,10 @@
 package engine
 
-import "vmdg/internal/core"
+import (
+	"fmt"
+
+	"vmdg/internal/core"
+)
 
 // Folder is implemented by experiments whose merge is an incremental
 // fold over shard payloads in shard-index order. The runner merges such
@@ -26,4 +30,53 @@ type Fold interface {
 	// Finish completes the fold. The result must be bit-identical to
 	// the experiment's batch Merge over the same payloads.
 	Finish() (*Outcome, error)
+}
+
+// orderedFold upholds the in-order Absorb contract when the runner's
+// task order diverges from an experiment's shard order. That happens
+// when equal cache keys collapse into one task: two identical sweep
+// points (a duplicated axis value), or an experiment sharing shards
+// with an earlier experiment in the same run, receive a payload for a
+// later shard while earlier shards are still pending. The wrapper
+// buffers such payloads (copying, since the runner's buffer is shared)
+// and drains them the moment the gap fills. The buffer holds only
+// key-shared stragglers — ordinary runs, where every shard is its own
+// task in shard order, never buffer at all.
+type orderedFold struct {
+	fold    Fold
+	next    int
+	pending map[int][]byte
+}
+
+func newOrderedFold(f Fold) *orderedFold {
+	return &orderedFold{fold: f, pending: map[int][]byte{}}
+}
+
+func (o *orderedFold) Absorb(shard int, payload []byte) error {
+	if shard != o.next {
+		o.pending[shard] = append([]byte(nil), payload...)
+		return nil
+	}
+	if err := o.fold.Absorb(shard, payload); err != nil {
+		return err
+	}
+	o.next++
+	for {
+		b, ok := o.pending[o.next]
+		if !ok {
+			return nil
+		}
+		delete(o.pending, o.next)
+		if err := o.fold.Absorb(o.next, b); err != nil {
+			return err
+		}
+		o.next++
+	}
+}
+
+func (o *orderedFold) Finish() (*Outcome, error) {
+	if len(o.pending) > 0 {
+		return nil, fmt.Errorf("engine: fold finished with %d shards still pending before shard %d", len(o.pending), o.next)
+	}
+	return o.fold.Finish()
 }

@@ -93,25 +93,61 @@ func TestStreamingFoldError(t *testing.T) {
 	}
 }
 
-// TestShardDoneOrdered pins the ShardDone contract: called once per
-// task, in task order, from the collector.
-func TestShardDoneOrdered(t *testing.T) {
-	fake := newFake("donefake", 23)
-	var calls []int
-	r := Runner{
-		Workers:   4,
-		ShardDone: func(done, total int) { calls = append(calls, done) },
+// TestEventsOrdered pins the OnEvent contract: exactly one shard event
+// per task, in task order, from the collector, followed by one merge
+// event per experiment — for any worker count.
+func TestEventsOrdered(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		fake := newFake("donefake", 23)
+		var events []Event
+		r := Runner{
+			Workers: workers,
+			OnEvent: func(ev Event) { events = append(events, ev) },
+		}
+		if _, _, err := r.Run(quickCfg(), []Experiment{fake}); err != nil {
+			t.Fatal(err)
+		}
+		if len(events) != 24 {
+			t.Fatalf("workers=%d: %d events, want 23 shard + 1 merge", workers, len(events))
+		}
+		for i, ev := range events[:23] {
+			if ev.Kind != EventShardComputed {
+				t.Fatalf("workers=%d: event %d kind %d, want computed", workers, i, ev.Kind)
+			}
+			if ev.Done != i+1 || ev.Total != 23 {
+				t.Fatalf("workers=%d: event %d progress %d/%d not in task order", workers, i, ev.Done, ev.Total)
+			}
+			if ev.Experiment != "donefake" || ev.Shards != 23 {
+				t.Fatalf("workers=%d: event %d misattributed: %+v", workers, i, ev)
+			}
+		}
+		last := events[23]
+		if last.Kind != EventExperimentMerged || last.Experiment != "donefake" || last.Done != 1 || last.Total != 1 {
+			t.Fatalf("workers=%d: final event %+v, want a merge event", workers, last)
+		}
+	}
+}
+
+// TestEventsReportCacheHits checks a warm run emits cached-shard
+// events.
+func TestEventsReportCacheHits(t *testing.T) {
+	fake := newFake("cachedfake", 5)
+	cache := NewMemCache()
+	r := Runner{Workers: 2, Cache: cache}
+	if _, _, err := r.Run(quickCfg(), []Experiment{fake}); err != nil {
+		t.Fatal(err)
+	}
+	cachedEvents := 0
+	r.OnEvent = func(ev Event) {
+		if ev.Kind == EventShardCached {
+			cachedEvents++
+		}
 	}
 	if _, _, err := r.Run(quickCfg(), []Experiment{fake}); err != nil {
 		t.Fatal(err)
 	}
-	if len(calls) != 23 {
-		t.Fatalf("ShardDone called %d times, want 23", len(calls))
-	}
-	for i, d := range calls {
-		if d != i+1 {
-			t.Fatalf("ShardDone sequence %v not in task order", calls)
-		}
+	if cachedEvents != 5 {
+		t.Fatalf("warm run emitted %d cached events, want 5", cachedEvents)
 	}
 }
 

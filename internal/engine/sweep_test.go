@@ -1,0 +1,261 @@
+package engine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vmdg/internal/core"
+	"vmdg/internal/grid"
+)
+
+// testSweepSpec is a 2×2 (policy × machines) grid, quick and small so
+// the whole sweep is a handful of one-shard points.
+func testSweepSpec() grid.Spec {
+	return grid.Spec{
+		Version:  grid.SpecVersion,
+		Quick:    true,
+		Envs:     []string{"vmplayer"},
+		Machines: []int{60, 90},
+		Minutes:  []int{30},
+		Churn:    []bool{true},
+		Policy:   []string{"fifo", "deadline"},
+	}
+}
+
+// TestSweepWorkerCountInvariance: the merged sweep — table, CSV, and
+// JSON — must be byte-identical for any worker count.
+func TestSweepWorkerCountInvariance(t *testing.T) {
+	cfg := core.Config{Seed: 1, Quick: true}
+	var outs []*Outcome
+	for _, workers := range []int{1, 8} {
+		exp, err := NewSweep("sweep", "t", testSweepSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := &Runner{Workers: workers, Cache: NewMemCache()}
+		got, stats, err := r.Run(cfg, []Experiment{exp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Shards != 4 {
+			t.Fatalf("2×2 one-shard sweep ran %d shards", stats.Shards)
+		}
+		outs = append(outs, got[0])
+	}
+	if outs[0].CSV() != outs[1].CSV() || outs[0].CSV() == "" {
+		t.Fatalf("sweep CSV differs across worker counts:\n%s\nvs\n%s", outs[0].CSV(), outs[1].CSV())
+	}
+	if outs[0].Render() != outs[1].Render() {
+		t.Fatal("sweep table differs across worker counts")
+	}
+	if !bytes.Equal(outs[0].Raw, outs[1].Raw) {
+		t.Fatal("sweep JSON differs across worker counts")
+	}
+	// The CSV is keyed by the swept axes, not a free-form variant label.
+	if !strings.HasPrefix(outs[0].CSV(), "machines,policy,env,") {
+		t.Fatalf("sweep CSV not keyed by axis columns:\n%s", outs[0].CSV())
+	}
+	for _, cell := range []string{"60,fifo,", "90,deadline,"} {
+		if !strings.Contains(outs[0].CSV(), cell) {
+			t.Fatalf("sweep CSV missing axis-keyed row %q:\n%s", cell, outs[0].CSV())
+		}
+	}
+}
+
+// TestSweepWidenedAxisHitsCache: re-running a sweep with one axis
+// widened must replay every previously-run point from the cache and
+// simulate only the new points. The on-disk entry count (via
+// FileCache.Stats) pins that no old point was re-keyed.
+func TestSweepWidenedAxisHitsCache(t *testing.T) {
+	cfg := core.Config{Seed: 1, Quick: true}
+	fc, err := NewFileCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exp, err := NewSweep("sweep", "t", testSweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Workers: 4, Cache: fc}
+	_, stats, err := r.Run(cfg, []Experiment{exp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Misses != 4 || stats.Hits != 0 {
+		t.Fatalf("cold 2×2 sweep: %d misses, %d hits", stats.Misses, stats.Hits)
+	}
+	st, err := fc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 4 {
+		t.Fatalf("cold sweep stored %d cache entries, want 4", st.Entries)
+	}
+
+	// Widen the policy axis 2 → 3: 2 new points interleave into the
+	// cartesian order, shifting every flat shard index after them.
+	wide := testSweepSpec()
+	wide.Policy = append(wide.Policy, "replication")
+	wexp, err := NewSweep("sweep", "t", wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err = r.Run(cfg, []Experiment{wexp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hits != 4 {
+		t.Fatalf("widened sweep replayed %d of 4 old points from cache", stats.Hits)
+	}
+	if stats.Misses != 2 {
+		t.Fatalf("widened sweep computed %d points, want only the 2 new ones", stats.Misses)
+	}
+	st, err = fc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 6 {
+		t.Fatalf("widened sweep grew the cache to %d entries, want 6 (4 reused + 2 new)", st.Entries)
+	}
+}
+
+// TestSweepSharesCacheWithFleet: a sweep point and an ad-hoc fleet run
+// of the same scenario are the same cache scope.
+func TestSweepSharesCacheWithFleet(t *testing.T) {
+	cfg := core.Config{Seed: 1, Quick: true}
+	cache := NewMemCache()
+	spec := testSweepSpec()
+
+	pts, err := spec.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Workers: 2, Cache: cache}
+	fleet := FleetScenario("fleet", "t", pts[0].Scenario)
+	if _, _, err := r.Run(cfg, []Experiment{fleet}); err != nil {
+		t.Fatal(err)
+	}
+
+	exp, err := NewSweep("sweep", "t", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := r.Run(cfg, []Experiment{exp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hits != 1 {
+		t.Fatalf("sweep re-simulated a scenario the fleet command already cached (%d hits)", stats.Hits)
+	}
+}
+
+// TestSweepSingleNoAxes: a spec with nothing swept still runs — the
+// degenerate one-point sweep — and degrades to plain fleet CSV.
+func TestSweepSingleNoAxes(t *testing.T) {
+	spec := testSweepSpec()
+	spec.Machines = spec.Machines[:1]
+	spec.Policy = spec.Policy[:1]
+	exp, err := NewSweep("sweep", "t", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Workers: 2, Cache: NewMemCache()}
+	outs, _, err := r.Run(core.Config{Seed: 1, Quick: true}, []Experiment{exp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(outs[0].CSV(), grid.CSVHeader()) {
+		t.Fatalf("single-point sweep CSV not in fleet form:\n%s", outs[0].CSV())
+	}
+	if !strings.Contains(outs[0].Render(), "1 points (no swept axes)") {
+		t.Fatalf("single-point sweep header wrong:\n%s", outs[0].Render())
+	}
+}
+
+// TestSweepDuplicatePoints: a duplicated axis value collapses the two
+// identical points into one task (equal cache keys), whose payload is
+// delivered out of flat-shard order — the fold's ordering buffer must
+// absorb it, and the duplicate rows must be identical.
+func TestSweepDuplicatePoints(t *testing.T) {
+	spec := testSweepSpec()
+	spec.Policy = []string{"fifo", "deadline", "fifo"}
+	exp, err := NewSweep("sweep", "t", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		r := &Runner{Workers: workers, Cache: NewMemCache()}
+		outs, stats, err := r.Run(core.Config{Seed: 1, Quick: true}, []Experiment{exp})
+		if err != nil {
+			t.Fatalf("workers=%d: duplicate-point sweep failed: %v", workers, err)
+		}
+		// 2 machines × 3 policies = 6 slots, of which 2 are duplicates
+		// supplied without compute.
+		if stats.Shards != 6 || stats.Misses != 4 || stats.Hits != 2 {
+			t.Fatalf("workers=%d: stats %+v, want 6 slots = 4 computed + 2 shared", workers, stats)
+		}
+		csv := outs[0].CSV()
+		for _, machines := range []string{"60", "90"} {
+			rows := strings.Split(csv, "\n")
+			var fifo []string
+			for _, row := range rows {
+				if strings.HasPrefix(row, machines+",fifo,") {
+					fifo = append(fifo, row)
+				}
+			}
+			if len(fifo) != 2 || fifo[0] != fifo[1] {
+				t.Fatalf("workers=%d: duplicate fifo points differ for machines=%s:\n%v", workers, machines, fifo)
+			}
+		}
+	}
+}
+
+// TestFolderSharesShardsWithEarlierExperiment: a fleet experiment
+// running alongside a sweep that contains the same scenario shares its
+// tasks; the sweep's fold sees those shards out of order and must
+// still merge correctly.
+func TestFolderSharesShardsWithEarlierExperiment(t *testing.T) {
+	spec := testSweepSpec()
+	pts, err := spec.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fleet duplicates the sweep's LAST point, so the shared task
+	// is created first and the sweep's earlier shards land later.
+	fleet := FleetScenario("fleet", "t", pts[len(pts)-1].Scenario)
+	sweep, err := NewSweep("sweep", "t", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := NewSweep("sweep", "t", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := &Runner{Workers: 4, Cache: NewMemCache()}
+	want, _, err := (&Runner{Workers: 1, Cache: NewMemCache()}).Run(core.Config{Seed: 1, Quick: true}, []Experiment{solo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, stats, err := r.Run(core.Config{Seed: 1, Quick: true}, []Experiment{fleet, sweep})
+	if err != nil {
+		t.Fatalf("shared-shard run failed: %v", err)
+	}
+	if stats.Misses != 4 || stats.Hits != 1 {
+		t.Fatalf("stats %+v, want 4 computed + 1 shared slot", stats)
+	}
+	if outs[1].CSV() != want[0].CSV() {
+		t.Fatal("sharing shards with a fleet changed the merged sweep")
+	}
+}
+
+// TestNewSweepValidates: NewSweep rejects invalid specs up front.
+func TestNewSweepValidates(t *testing.T) {
+	spec := testSweepSpec()
+	spec.Policy = []string{"fifo", "lifo"}
+	if _, err := NewSweep("sweep", "t", spec); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}

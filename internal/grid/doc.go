@@ -74,4 +74,14 @@
 // 10k-host fleet does not spend its time in Cooley–Tukey butterflies;
 // agreement semantics — what quorum validation consumes — are
 // preserved.
+//
+// # Scenario families
+//
+// A Scenario describes one fleet; a Spec describes a family of them:
+// a versioned, JSON-round-trippable document whose fields are named
+// axes (lists of values). Spec.Points expands the cartesian product
+// over every multi-value axis into concrete scenarios, each tagged
+// with the axis values that select it — the declarative input the
+// engine's sweep experiment runs, caches per point, and merges into
+// one axis-keyed comparison.
 package grid

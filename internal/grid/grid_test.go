@@ -60,6 +60,55 @@ func TestValidateListsEnvironments(t *testing.T) {
 	}
 }
 
+// TestValidateErrorTable covers every Scenario.Validate error path.
+// The unknown-policy and unknown-environment errors must list the
+// valid names — the CLI surfaces them verbatim.
+func TestValidateErrorTable(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		mutate   func(*Scenario)
+		wantErr  []string
+		accepted bool
+	}{
+		{"valid defaults", func(s *Scenario) {}, nil, true},
+		{"unknown policy lists valid", func(s *Scenario) { s.Policy = "lifo" },
+			append([]string{`unknown policy "lifo"`}, Policies()...), false},
+		{"unknown env lists valid", func(s *Scenario) { s.Envs = []string{"xen"} },
+			[]string{`unknown environment "xen"`, "vmplayer", "qemu", "virtualbox", "virtualpc"}, false},
+		{"faulty below range", func(s *Scenario) { s.FaultyFrac = -0.1 },
+			[]string{"faulty fraction", "[0, 1]"}, false},
+		{"faulty above range", func(s *Scenario) { s.FaultyFrac = 1.5 },
+			[]string{"faulty fraction", "[0, 1]"}, false},
+		{"machines beyond cap", func(s *Scenario) { s.Machines = MaxMachines + 1 },
+			[]string{"machines"}, false},
+		{"minutes beyond cap", func(s *Scenario) { s.Minutes = MaxMinutes + 1 },
+			[]string{"minutes"}, false},
+		{"replication beyond population", func(s *Scenario) {
+			s.Policy = "replication"
+			s.Machines = 3
+			s.Replication = 4
+		}, []string{"replication factor 4", "population 3"}, false},
+	} {
+		scn := Scenario{}
+		tc.mutate(&scn)
+		err := scn.Validate()
+		if tc.accepted {
+			if err != nil {
+				t.Fatalf("%s: rejected: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		for _, want := range tc.wantErr {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("%s: error %q does not mention %q", tc.name, err, want)
+			}
+		}
+	}
+}
+
 func TestRunShardIsPure(t *testing.T) {
 	scn := quickScn()
 	scn.Machines = 200
