@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -12,22 +13,30 @@ import (
 	"vmdg/internal/grid"
 )
 
-// cmdFleet simulates the paper's motivating scenario at population
-// scale: a desktop grid of volunteer machines (heterogeneous hardware,
-// owners arriving and leaving) donating cycles to an
-// Einstein@home-style project through sandboxed VMs, under a chosen
-// server scheduling policy. The command is a thin adapter over
-// grid.Spec — each flag pins one spec axis to a single value — so a
-// fleet run is exactly a one-point sweep: same validation, same cache
-// scoping, same engine path, and `dgrid sweep -set axis=...` widens
-// any of these flags into a comparison without re-running this point.
-func cmdFleet(args []string) error {
-	// Flag defaults come from the spec's own normalization, so the
-	// help text can never drift from what an unset field actually runs
-	// (the spec layer owns the seed and faulty-fraction defaults that
-	// Scenario.Normalize cannot express).
+// fleetOpts is everything `dgrid fleet` parses from its arguments: the
+// single validated scenario plus the runner and output switches.
+// parseFleetArgs fills it, so the whole command line is testable
+// without executing a fleet.
+type fleetOpts struct {
+	scn     grid.Scenario
+	seed    uint64
+	quick   bool
+	workers int
+	cache   string
+	jsonOut bool
+	csv     bool
+	out     string
+	verbose bool
+}
+
+// parseFleetArgs parses and validates the fleet command line. Flag
+// defaults come from the spec's own normalization, so the help text
+// can never drift from what an unset field actually runs (the spec
+// layer owns the seed and faulty-fraction defaults that
+// Scenario.Normalize cannot express).
+func parseFleetArgs(args []string) (*fleetOpts, error) {
 	def := grid.Spec{}.Normalize()
-	fs := flag.NewFlagSet("dgrid fleet", flag.ExitOnError)
+	fs := flag.NewFlagSet("dgrid fleet", flag.ContinueOnError)
 	machines := fs.Int("machines", def.Machines[0], "volunteer machines in the fleet")
 	minutes := fs.Int("minutes", def.Minutes[0], "virtual minutes to simulate")
 	env := fs.String("env", "", "single VM environment (default: the paper's four)")
@@ -37,6 +46,10 @@ func cmdFleet(args []string) error {
 	replication := fs.Int("replication", def.Replication[0], "quorum size (replication policy)")
 	deadline := fs.Float64("deadline", def.DeadlineMin[0], "work-unit deadline in virtual minutes (deadline policy)")
 	faulty := fs.Float64("faulty", def.FaultyFrac[0], "fraction of hosts returning corrupted results")
+	migration := fs.String("migration", def.Migration[0],
+		"checkpoint migration policy: "+strings.Join(grid.MigrationPolicies(), ", "))
+	bandwidth := fs.Float64("bandwidth", def.Bandwidth[0],
+		"server frontend transfer capacity per population slice, Mbit/s (migration policies)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	cache := fs.String("cache", "", "shard cache directory; 'off' disables (default: the user cache dir)")
 	quick := fs.Bool("quick", false, "trim calibration windows (faster, noisier)")
@@ -45,13 +58,17 @@ func cmdFleet(args []string) error {
 	out := fs.String("out", "", "also write fleet.json and fleet.csv artifacts to this directory")
 	verbose := fs.Bool("v", false, "log per-shard progress to stderr")
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			return nil, err
+		}
+		// Parse already printed the message and usage to stderr.
+		return nil, fmt.Errorf("%w: %v", errUsage, err)
 	}
 	if fs.NArg() > 0 {
-		return fmt.Errorf("unexpected arguments %v (fleet takes flags only, e.g. -machines 10000)", fs.Args())
+		return nil, fmt.Errorf("unexpected arguments %v (fleet takes flags only, e.g. -machines 10000)", fs.Args())
 	}
 	if err := validateFleetFlags(*machines, *minutes, *replication, *policy); err != nil {
-		return err
+		return nil, err
 	}
 
 	sp := grid.Spec{
@@ -65,6 +82,8 @@ func cmdFleet(args []string) error {
 		Replication: []int{*replication},
 		DeadlineMin: []float64{*deadline},
 		FaultyFrac:  []float64{*faulty},
+		Migration:   []string{*migration},
+		Bandwidth:   []float64{*bandwidth},
 	}
 	if *env != "" {
 		sp.Envs = []string{*env}
@@ -75,41 +94,68 @@ func cmdFleet(args []string) error {
 	// explicit non-positive values that normalization would otherwise
 	// silently replace with defaults.
 	if err := sp.Validate(); err != nil {
-		return err
+		return nil, err
 	}
 	pts, err := sp.Points()
 	if err != nil {
-		return err
+		return nil, err
 	}
-	scn := pts[0].Scenario
+	return &fleetOpts{
+		scn:     pts[0].Scenario,
+		seed:    *seed,
+		quick:   *quick,
+		workers: *workers,
+		cache:   *cache,
+		jsonOut: *jsonOut,
+		csv:     *csv,
+		out:     *out,
+		verbose: *verbose,
+	}, nil
+}
 
-	runner, err := newRunner(*workers, *cache, *verbose)
+// cmdFleet simulates the paper's motivating scenario at population
+// scale: a desktop grid of volunteer machines (heterogeneous hardware,
+// owners arriving and leaving) donating cycles to an
+// Einstein@home-style project through sandboxed VMs, under a chosen
+// server scheduling policy — and, when -migration is set, moving
+// checkpoints of departed hosts to new volunteers over the modeled
+// network. The command is a thin adapter over grid.Spec — each flag
+// pins one spec axis to a single value — so a fleet run is exactly a
+// one-point sweep: same validation, same cache scoping, same engine
+// path, and `dgrid sweep -set axis=...` widens any of these flags into
+// a comparison without re-running this point.
+func cmdFleet(args []string) error {
+	o, err := parseFleetArgs(args)
+	if err != nil {
+		return usageExit(err)
+	}
+	runner, err := newRunner(o.workers, o.cache, o.verbose)
 	if err != nil {
 		return err
 	}
-	if !*verbose {
+	if !o.verbose {
 		runner.OnEvent = progressLine("fleet")
 	}
 	// The config takes the flag values directly (not the normalized
 	// spec's): an explicit -seed 0 runs seed 0, as it always has —
 	// only in spec *files* does an absent seed mean grid.DefaultSeed.
-	cfg := core.Config{Seed: *seed, Quick: *quick}
-	exp := engine.FleetScenario("fleet", "command-line fleet scenario", scn)
+	cfg := core.Config{Seed: o.seed, Quick: o.quick}
+	exp := engine.FleetScenario("fleet", "command-line fleet scenario", o.scn)
 	outcomes, stats, err := runner.Run(cfg, []engine.Experiment{exp})
 	if err != nil {
 		return err
 	}
-	o := outcomes[0]
+	res := outcomes[0]
 	switch {
-	case *jsonOut:
-		os.Stdout.Write(append(o.Raw, '\n'))
-	case *csv:
-		fmt.Print(o.CSV())
+	case o.jsonOut:
+		os.Stdout.Write(append(res.Raw, '\n'))
+	case o.csv:
+		fmt.Print(res.CSV())
 	default:
-		fmt.Println(o.Render())
+		fmt.Println(res.Render())
 	}
-	if *out != "" {
-		if err := writeArtifacts(*out, outcomes); err != nil {
+	if o.out != "" {
+		if err := writeArtifacts(o.out, outcomes); err != nil {
 			return err
 		}
 	}
@@ -120,9 +166,10 @@ func cmdFleet(args []string) error {
 // validateFleetFlags rejects out-of-range flag values before scenario
 // normalization can paper over them, with messages that state the valid
 // range. The replication bound applies only to the replication policy —
-// the flag's default is inert elsewhere. Spec.Validate re-checks the
-// upper bounds (and replication against the population) after
-// normalization.
+// the flag's default is inert elsewhere. Everything else — unknown
+// policies, migration policies, environments, non-positive bandwidth,
+// the upper bounds re-checked after normalization — is Spec.Validate's
+// job; the flags feed it unmodified.
 func validateFleetFlags(machines, minutes, replication int, policy string) error {
 	if machines < 1 || machines > grid.MaxMachines {
 		return fmt.Errorf("-machines %d outside the valid range [1, %d]", machines, grid.MaxMachines)

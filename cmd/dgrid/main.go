@@ -12,6 +12,9 @@
 //	                                # churn-aware volunteer-fleet simulation
 //	dgrid fleet -machines 1000000 -minutes 480
 //	                                # million-host fleet, a working day
+//	dgrid fleet -machines 10000 -churn -migration on-departure -bandwidth 100
+//	                                # churned-off hosts migrate their VM
+//	                                # checkpoints over the modeled network
 //	dgrid sweep -spec examples/sweep.json
 //	                                # declarative scenario sweep: the spec's
 //	                                # multi-value axes expand into a cached,
@@ -30,6 +33,8 @@
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
 	"os"
 	"runtime/debug"
@@ -74,6 +79,27 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dgrid:", err)
 		os.Exit(1)
+	}
+}
+
+// errUsage tags a malformed command line. The parse functions use
+// flag.ContinueOnError so they stay testable; usageExit restores the
+// CLI's historical exit-code contract (2 for usage errors, 1 for run
+// failures) that flag.ExitOnError used to provide.
+var errUsage = errors.New("usage error")
+
+// usageExit converts a parse error into the command's return: help is
+// not an error, a usage error exits 2 on the spot (the flag package
+// already printed it), and anything else propagates as a run failure.
+func usageExit(err error) error {
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+		return nil
+	case errors.Is(err, errUsage):
+		os.Exit(2)
+		return nil // unreachable
+	default:
+		return err
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,15 +22,23 @@ func (m *multiFlag) Set(v string) error {
 	return nil
 }
 
-// cmdSweep runs a declarative scenario sweep: a grid.Spec (from a JSON
-// file, -set overrides, or both) expands into its cartesian grid of
-// scenarios, every point runs through the engine's worker pool and
-// shard cache, and the output is one merged table/CSV/JSON keyed by
-// the swept axis values. Each point is its own cache scope, so
-// re-running a sweep with one axis widened simulates only the new
-// points.
-func cmdSweep(args []string) error {
-	fs := flag.NewFlagSet("dgrid sweep", flag.ExitOnError)
+// sweepOpts is everything `dgrid sweep` parses from its arguments: the
+// normalized, validated spec plus the runner and output switches.
+type sweepOpts struct {
+	spec    grid.Spec
+	workers int
+	cache   string
+	jsonOut bool
+	csv     bool
+	out     string
+	verbose bool
+}
+
+// parseSweepArgs parses the sweep command line into a validated spec:
+// the -spec file (if any) first, then -set overrides in order, then
+// the -seed/-quick scalars.
+func parseSweepArgs(args []string) (*sweepOpts, error) {
+	fs := flag.NewFlagSet("dgrid sweep", flag.ContinueOnError)
 	specPath := fs.String("spec", "", "sweep spec file (JSON; see examples/sweep.json)")
 	var sets multiFlag
 	fs.Var(&sets, "set", "override a spec axis, e.g. -set policy=fifo,deadline (repeatable; axes: "+
@@ -43,31 +52,35 @@ func cmdSweep(args []string) error {
 	out := fs.String("out", "", "also write sweep.json and sweep.csv artifacts to this directory")
 	verbose := fs.Bool("v", false, "log per-shard progress to stderr")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dgrid sweep [-spec file.json] [-set axis=v1,v2,...] [flags]\n\n"+
+		fmt.Fprintln(fs.Output(), "usage: dgrid sweep [-spec file.json] [-set axis=v1,v2,...] [flags]\n\n"+
 			"a spec describes a family of fleet scenarios; every multi-value axis is swept\n"+
 			"and the cartesian grid runs as one cached, worker-count-invariant experiment")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			return nil, err
+		}
+		// Parse already printed the message and usage to stderr.
+		return nil, fmt.Errorf("%w: %v", errUsage, err)
 	}
 	if fs.NArg() > 0 {
-		return fmt.Errorf("unexpected arguments %v (sweep takes flags only)", fs.Args())
+		return nil, fmt.Errorf("unexpected arguments %v (sweep takes flags only)", fs.Args())
 	}
 
 	sp := grid.Spec{Version: grid.SpecVersion}
 	if *specPath != "" {
 		data, err := os.ReadFile(*specPath)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if sp, err = grid.ParseSpec(data); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	for _, assign := range sets {
 		if err := sp.Set(assign); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	if *seed != 0 {
@@ -78,18 +91,41 @@ func cmdSweep(args []string) error {
 	}
 	sp = sp.Normalize()
 	if err := sp.Validate(); err != nil {
-		return err
+		return nil, err
 	}
+	return &sweepOpts{
+		spec:    sp,
+		workers: *workers,
+		cache:   *cache,
+		jsonOut: *jsonOut,
+		csv:     *csv,
+		out:     *out,
+		verbose: *verbose,
+	}, nil
+}
 
+// cmdSweep runs a declarative scenario sweep: a grid.Spec (from a JSON
+// file, -set overrides, or both) expands into its cartesian grid of
+// scenarios, every point runs through the engine's worker pool and
+// shard cache, and the output is one merged table/CSV/JSON keyed by
+// the swept axis values. Each point is its own cache scope, so
+// re-running a sweep with one axis widened simulates only the new
+// points.
+func cmdSweep(args []string) error {
+	o, err := parseSweepArgs(args)
+	if err != nil {
+		return usageExit(err)
+	}
+	sp := o.spec
 	exp, err := engine.NewSweep("sweep", "command-line scenario sweep", sp)
 	if err != nil {
 		return err
 	}
-	runner, err := newRunner(*workers, *cache, *verbose)
+	runner, err := newRunner(o.workers, o.cache, o.verbose)
 	if err != nil {
 		return err
 	}
-	if !*verbose {
+	if !o.verbose {
 		runner.OnEvent = progressLine("sweep")
 	}
 	// The spec governs seed and quick: copy them into the run config
@@ -102,17 +138,17 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
-	o := outcomes[0]
+	res := outcomes[0]
 	switch {
-	case *jsonOut:
-		os.Stdout.Write(append(o.Raw, '\n'))
-	case *csv:
-		fmt.Print(o.CSV())
+	case o.jsonOut:
+		os.Stdout.Write(append(res.Raw, '\n'))
+	case o.csv:
+		fmt.Print(res.CSV())
 	default:
-		fmt.Println(o.Render())
+		fmt.Println(res.Render())
 	}
-	if *out != "" {
-		if err := writeArtifacts(*out, outcomes); err != nil {
+	if o.out != "" {
+		if err := writeArtifacts(o.out, outcomes); err != nil {
 			return err
 		}
 	}

@@ -23,7 +23,12 @@ import (
 // kernel fires a different (smaller) event count, so Latency and Fired
 // in cached EnvStats payloads are not comparable with v2 entries even
 // though the JSON shape is unchanged.
-const cacheVersion = "v3"
+//
+// v4: checkpoint migration — EnvStats grew the migration/transfer
+// fields and scenario scopes grew the migration and bandwidth axes, so
+// a v3 entry could satisfy a v4 key for a scenario that now means
+// something different (and vice versa).
+const cacheVersion = "v4"
 
 // buildFingerprint identifies the binary that produced a shard payload,
 // so entries written by one build never serve another: any change to

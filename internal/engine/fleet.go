@@ -206,7 +206,15 @@ func (fd *fleetFold) Finish() (*Outcome, error) {
 	}
 	payload := fleetPayload{Name: fd.exp.name}
 	var text, csv strings.Builder
-	csv.WriteString(grid.CSVHeader())
+	// One variant that migrates widens the CSV for every row — columns
+	// must agree across the artifact — while a migration-free artifact
+	// keeps its pre-migration byte-exact form.
+	mig := anyMigrates(fd.vs)
+	if mig {
+		csv.WriteString(grid.MigCSVHeader())
+	} else {
+		csv.WriteString(grid.CSVHeader())
+	}
 	for i, v := range fd.vs {
 		fr := frs[i]
 		payload.Variants = append(payload.Variants, fleetVariantResult{Label: v.label, Fleet: fr})
@@ -217,7 +225,11 @@ func (fd *fleetFold) Finish() (*Outcome, error) {
 			fmt.Fprintf(&text, "— %s —\n", v.label)
 		}
 		text.WriteString(fr.Render())
-		csv.WriteString(fr.CSVRows(v.label))
+		if mig {
+			csv.WriteString(fr.MigCSVRows(v.label))
+		} else {
+			csv.WriteString(fr.CSVRows(v.label))
+		}
 	}
 	raw, err := json.Marshal(payload)
 	if err != nil {
@@ -240,6 +252,17 @@ func (f fleetExperiment) Merge(cfg core.Config, shards [][]byte) (*Outcome, erro
 		}
 	}
 	return fold.Finish()
+}
+
+// anyMigrates reports whether any variant's scenario migrates
+// checkpoints (variants are normalized at construction/resolve).
+func anyMigrates(vs []fleetVariant) bool {
+	for _, v := range vs {
+		if v.scn.Migrates() {
+			return true
+		}
+	}
+	return false
 }
 
 // FleetScenario wraps a single ad-hoc scenario (the `dgrid fleet`
@@ -287,5 +310,25 @@ func init() {
 		name:     "fleetpolicy",
 		title:    "Fleet F2 — scheduling policies under churn (fifo vs deadline vs replication)",
 		variants: policyVariants(),
+	})
+	migrationVariants := func() []fleetVariant {
+		var vs []fleetVariant
+		for _, mig := range grid.MigrationPolicies() {
+			vs = append(vs, fleetVariant{
+				label: "migration " + mig,
+				scn: grid.Scenario{
+					Machines: fleetMachines, Minutes: 120,
+					Churn: true, Policy: "fifo", FaultyFrac: 0.02,
+					Migration: mig,
+					Envs:      []string{"vmplayer"},
+				},
+			})
+		}
+		return vs
+	}
+	Default.mustRegister(fleetExperiment{
+		name:     "fleetmigration",
+		title:    "Fleet F3 — checkpoint migration over the modeled network (none vs on-departure vs eager)",
+		variants: migrationVariants(),
 	})
 }

@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vmdg/internal/core"
+	"vmdg/internal/grid"
+)
+
+// -update regenerates the golden fixtures under testdata/golden. See
+// the twin flag in internal/grid for when that is (and is not) okay.
+var update = flag.Bool("update", false, "rewrite golden fixtures")
+
+// goldenSweepSpec is the canonical sweep fixture: a policy × machines
+// grid through the full engine path (spec expansion, pooled shards,
+// streaming fold, axis-keyed rendering).
+func goldenSweepSpec() grid.Spec {
+	return grid.Spec{
+		Version:  grid.SpecVersion,
+		Seed:     1,
+		Quick:    true,
+		Envs:     []string{"vmplayer"},
+		Machines: []int{60, 90},
+		Minutes:  []int{30},
+		Churn:    []bool{true},
+		Policy:   []string{"fifo", "deadline"},
+	}
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run `go test ./internal/engine -run Golden -update`): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("%s drifted from the golden fixture.\n--- want\n%s\n--- got\n%s", name, want, got)
+	}
+}
+
+// runGoldenSweep runs spec through the engine and returns the outcome.
+func runGoldenSweep(t *testing.T, spec grid.Spec) *Outcome {
+	t.Helper()
+	exp, err := NewSweep("sweep", "golden sweep", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Workers: 4, Cache: NewMemCache()}
+	outs, _, err := r.Run(core.Config{Seed: spec.Seed, Quick: spec.Quick}, []Experiment{exp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outs[0]
+}
+
+// TestGoldenSweepTable pins the merged sweep table and CSV end to end.
+// The fixture predates checkpoint migration, so a default
+// (migration=none) sweep must keep matching it byte for byte.
+func TestGoldenSweepTable(t *testing.T) {
+	o := runGoldenSweep(t, goldenSweepSpec())
+	checkGolden(t, "sweep_policy_machines.txt", o.Render())
+	checkGolden(t, "sweep_policy_machines.csv", o.CSV())
+}
+
+// goldenMigSweepSpec is the migration acceptance grid: every migration
+// policy crossed with a contended and an uncontended server frontend.
+func goldenMigSweepSpec() grid.Spec {
+	return grid.Spec{
+		Version:   grid.SpecVersion,
+		Seed:      1,
+		Quick:     true,
+		Envs:      []string{"vmplayer"},
+		Machines:  []int{300},
+		Minutes:   []int{120},
+		Churn:     []bool{true},
+		Policy:    []string{"fifo"},
+		Migration: []string{"none", "on-departure", "eager"},
+		Bandwidth: []float64{100, 1000},
+	}
+}
+
+// TestGoldenMigrationSweep pins the migration × bandwidth sweep and
+// checks it is bit-identical across worker counts 1, 4, and 8 — the
+// determinism contract for the new axes.
+func TestGoldenMigrationSweep(t *testing.T) {
+	spec := goldenMigSweepSpec()
+	base := runGoldenSweep(t, spec)
+	checkGolden(t, "sweep_migration_bandwidth.txt", base.Render())
+	checkGolden(t, "sweep_migration_bandwidth.csv", base.CSV())
+	for _, workers := range []int{4, 8} {
+		exp, err := NewSweep("sweep", "golden sweep", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := &Runner{Workers: workers, Cache: NewMemCache()}
+		outs, _, err := r.Run(core.Config{Seed: spec.Seed, Quick: spec.Quick}, []Experiment{exp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outs[0].Render() != base.Render() || outs[0].CSV() != base.CSV() ||
+			!bytes.Equal(outs[0].Raw, base.Raw) {
+			t.Fatalf("migration sweep differs at %d workers", workers)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"vmdg/internal/core"
+	"vmdg/internal/grid"
+)
+
+// TestPropertyRandomScenarios is a testing/quick-style loop over small
+// random fleet scenarios — machines, horizon, churn, scheduling policy,
+// migration policy, bandwidth, and faulty fraction all drawn from a
+// fixed-seed stream, so a failure reproduces exactly. Every scenario is
+// run at two worker counts and must hold the pipeline's invariants:
+//
+//   - worker-count invariance: table, CSV, and JSON byte-identical;
+//   - churn off ⇒ no evictions and no migrations (eager may still burn
+//     sync bandwidth — its client can't know churn is off — but nothing
+//     downloads and nothing re-places);
+//   - migration "none" ⇒ the transfer plane never engages;
+//   - conservation: a migrated unit can never carry more checkpointed
+//     chunks than a whole unit, so saved chunks are bounded by
+//     migrations × chunks-per-unit, and every migration traces back to
+//     a distinct eviction.
+func TestPropertyRandomScenarios(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	policies := grid.Policies()
+	migs := grid.MigrationPolicies()
+	bandwidths := []float64{50, 1000}
+	for i := 0; i < 8; i++ {
+		scn := grid.Scenario{
+			Machines:      40 + rng.Intn(200),
+			Minutes:       30 + rng.Intn(60),
+			Seed:          1,
+			Quick:         true,
+			Churn:         rng.Intn(2) == 0,
+			Policy:        policies[rng.Intn(len(policies))],
+			FaultyFrac:    float64(rng.Intn(2)) * 0.05,
+			Migration:     migs[rng.Intn(len(migs))],
+			BandwidthMbps: bandwidths[rng.Intn(len(bandwidths))],
+			Envs:          []string{"vmplayer"},
+		}.Normalize()
+		label := scn.Key()
+
+		var outs []*Outcome
+		for _, workers := range []int{1, 5} {
+			r := &Runner{Workers: workers, Cache: NewMemCache()}
+			got, _, err := r.Run(core.Config{Seed: 1, Quick: true},
+				[]Experiment{FleetScenario("fleet", "property", scn)})
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			outs = append(outs, got[0])
+		}
+		if !bytes.Equal(outs[0].Raw, outs[1].Raw) ||
+			outs[0].Render() != outs[1].Render() || outs[0].CSV() != outs[1].CSV() {
+			t.Fatalf("%s: output differs across worker counts", label)
+		}
+
+		var payload fleetPayload
+		if err := json.Unmarshal(outs[0].Raw, &payload); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		for _, v := range payload.Variants {
+			for _, st := range v.Fleet.Envs {
+				if st.MigSavedChunks < 0 || st.MigSavedSec < 0 || st.LostChunks < 0 {
+					t.Errorf("%s/%s: negative accounting: %+v", label, st.Env, st)
+				}
+				if !scn.Churn {
+					if st.Evictions != 0 || st.Migrations != 0 || st.MigRxBytes != 0 {
+						t.Errorf("%s/%s: churn off but evictions=%d migrations=%d rx=%d",
+							label, st.Env, st.Evictions, st.Migrations, st.MigRxBytes)
+					}
+					if scn.Migration != "eager" && st.MigTxBytes != 0 {
+						t.Errorf("%s/%s: churn off but %d bytes uploaded", label, st.Env, st.MigTxBytes)
+					}
+				}
+				if scn.Migration == "none" &&
+					(st.Migrations != 0 || st.MigTxBytes != 0 || st.MigRxBytes != 0 ||
+						st.MigSavedChunks != 0 || st.MigSavedSec != 0) {
+					t.Errorf("%s/%s: migration none engaged the transfer plane: %+v", label, st.Env, st)
+				}
+				if st.MigSavedChunks > int64(st.Migrations)*int64(scn.ChunksPerUnit) {
+					t.Errorf("%s/%s: %d saved chunks from %d migrations of ≤%d-chunk checkpoints",
+						label, st.Env, st.MigSavedChunks, st.Migrations, scn.ChunksPerUnit)
+				}
+				if st.Migrations > st.Evictions {
+					t.Errorf("%s/%s: %d migrations exceed %d evictions",
+						label, st.Env, st.Migrations, st.Evictions)
+				}
+				if st.Policy.Validated > st.Policy.UnitsIssued {
+					t.Errorf("%s/%s: validated %d of %d issued units",
+						label, st.Env, st.Policy.Validated, st.Policy.UnitsIssued)
+				}
+			}
+		}
+	}
+}

@@ -124,9 +124,13 @@ func (fd *sweepFold) Finish() (*Outcome, error) {
 }
 
 // renderSweep builds the merged table: one row per (point,
-// environment), keyed by the swept axis values.
+// environment), keyed by the swept axis values. When any point
+// migrates checkpoints the table gains the migration columns (for
+// every row — columns must agree down the table); a migration-free
+// sweep renders in its pre-migration byte-exact form.
 func renderSweep(spec grid.Spec, cfg core.Config, pts []grid.Point, frs []*grid.FleetResult) string {
 	axes := spec.SweptAxes()
+	mig := spec.Migrates()
 	var b strings.Builder
 	axisDesc := "no swept axes"
 	if len(axes) > 0 {
@@ -141,9 +145,13 @@ func renderSweep(spec grid.Spec, cfg core.Config, pts []grid.Point, frs []*grid.
 			labelW = l
 		}
 	}
-	fmt.Fprintf(&b, "%-*s %-14s %9s %6s %4s %7s %6s %10s %7s %7s %7s\n",
+	fmt.Fprintf(&b, "%-*s %-14s %9s %6s %4s %7s %6s %10s %7s %7s %7s",
 		labelW, "point", "environment", "validated", "outst", "bad", "invalid",
 		"evict", "lost-chnk", "avail%", "p50ms", "p95ms")
+	if mig {
+		fmt.Fprintf(&b, " %6s %9s %7s %7s", "migr", "saved-min", "tx-MB", "rx-MB")
+	}
+	b.WriteByte('\n')
 	for i, pt := range pts {
 		fr := frs[i]
 		for _, st := range fr.Envs {
@@ -152,11 +160,17 @@ func renderSweep(spec grid.Spec, cfg core.Config, pts []grid.Point, frs []*grid.
 			if horizon > 0 {
 				avail = 100 * st.OnSeconds / horizon
 			}
-			fmt.Fprintf(&b, "%-*s %-14s %9d %6d %4d %7d %6d %10d %7.1f %7.1f %7.1f\n",
+			fmt.Fprintf(&b, "%-*s %-14s %9d %6d %4d %7d %6d %10d %7.1f %7.1f %7.1f",
 				labelW, pointLabel(pt), st.Env,
 				st.Policy.Validated, st.Policy.Outstanding, st.Policy.Bad,
 				st.Policy.Invalid, st.Evictions, st.LostChunks, avail,
 				st.Latency.Percentile(0.50), st.Latency.Percentile(0.95))
+			if mig {
+				fmt.Fprintf(&b, " %6d %9.1f %7.1f %7.1f",
+					st.Migrations, st.MigSavedSec/60,
+					float64(st.MigTxBytes)/1e6, float64(st.MigRxBytes)/1e6)
+			}
+			b.WriteByte('\n')
 		}
 	}
 	return b.String()
@@ -167,26 +181,30 @@ func renderSweep(spec grid.Spec, cfg core.Config, pts []grid.Point, frs []*grid.
 // nothing swept it degrades to the plain fleet CSV.
 func sweepCSV(spec grid.Spec, pts []grid.Point, frs []*grid.FleetResult) string {
 	axes := spec.SweptAxes()
+	header, rows := grid.CSVHeader(), (*grid.FleetResult).CSVRows
+	if spec.Migrates() {
+		header, rows = grid.MigCSVHeader(), (*grid.FleetResult).MigCSVRows
+	}
 	var b strings.Builder
 	if len(axes) == 0 {
-		b.WriteString(grid.CSVHeader())
+		b.WriteString(header)
 		for i := range pts {
-			b.WriteString(frs[i].CSVRows(""))
+			b.WriteString(rows(frs[i], ""))
 		}
 		return b.String()
 	}
-	// grid.CSVHeader leads with a free-form "variant" column; the sweep
+	// The header leads with a free-form "variant" column; the sweep
 	// replaces it with the axis columns and passes the point's axis
 	// values as that cell, which the CSV writer emits verbatim.
 	b.WriteString(strings.Join(axes, ","))
 	b.WriteByte(',')
-	b.WriteString(strings.TrimPrefix(grid.CSVHeader(), "variant,"))
+	b.WriteString(strings.TrimPrefix(header, "variant,"))
 	for i, pt := range pts {
 		vals := make([]string, len(pt.Axes))
 		for j, av := range pt.Axes {
 			vals[j] = av.Value
 		}
-		b.WriteString(frs[i].CSVRows(strings.Join(vals, ",")))
+		b.WriteString(rows(frs[i], strings.Join(vals, ",")))
 	}
 	return b.String()
 }

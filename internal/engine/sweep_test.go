@@ -251,6 +251,29 @@ func TestFolderSharesShardsWithEarlierExperiment(t *testing.T) {
 	}
 }
 
+// TestSweepNonePointSharesAcrossBandwidth: bandwidth is inert when
+// migration is off, so the none points of a bandwidth sweep collapse
+// to one cache scope — the second is supplied without compute.
+func TestSweepNonePointSharesAcrossBandwidth(t *testing.T) {
+	spec := testSweepSpec()
+	spec.Machines = spec.Machines[:1]
+	spec.Policy = spec.Policy[:1]
+	spec.Migration = []string{"none"}
+	spec.Bandwidth = []float64{100, 1000}
+	exp, err := NewSweep("sweep", "t", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Workers: 2, Cache: NewMemCache()}
+	_, stats, err := r.Run(core.Config{Seed: 1, Quick: true}, []Experiment{exp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shards != 2 || stats.Misses != 1 || stats.Hits != 1 {
+		t.Fatalf("stats %+v, want the none point simulated once and shared", stats)
+	}
+}
+
 // TestNewSweepValidates: NewSweep rejects invalid specs up front.
 func TestNewSweepValidates(t *testing.T) {
 	spec := testSweepSpec()

@@ -25,6 +25,12 @@ type Class struct {
 	// using the machine (interactive bursts, VM throttled to leftover
 	// cycles) and being away from the keyboard.
 	MeanActiveMin, MeanIdleMin float64
+
+	// UpMbps / DownMbps are the class's mean access-link rates toward
+	// and from the project server, in Mbit/s. Hosts draw their own
+	// rates around these means (hostLinkBps); the rates matter only
+	// when the scenario migrates checkpoints.
+	UpMbps, DownMbps float64
 }
 
 // Classes returns the default population mix: the paper's testbed
@@ -41,24 +47,28 @@ func Classes() []Class {
 			Name: "office", CPU: hw.Core2Duo6600(), Weight: 0.40,
 			MeanOnMin: 150, MeanOffMin: 60,
 			MeanActiveMin: 9, MeanIdleMin: 14,
+			UpMbps: 100, DownMbps: 100, // switched Fast Ethernet drop
 		},
 		{
 			// Aging single-core stock, long-running but slow.
 			Name: "legacy", CPU: hw.CPU{Cores: 1, FreqHz: 1.8e9, BusK: 0.45}, Weight: 0.25,
 			MeanOnMin: 200, MeanOffMin: 120,
 			MeanActiveMin: 8, MeanIdleMin: 20,
+			UpMbps: 10, DownMbps: 10, // aging 10BASE-T segment
 		},
 		{
 			// Lab/enthusiast quads: nearly always on, owner mostly away.
 			Name: "lab", CPU: hw.CPU{Cores: 4, FreqHz: 3.0e9, BusK: 0.45}, Weight: 0.15,
 			MeanOnMin: 420, MeanOffMin: 45,
 			MeanActiveMin: 6, MeanIdleMin: 30,
+			UpMbps: 1000, DownMbps: 1000, // gigabit lab backbone
 		},
 		{
 			// Laptops: quick lid-close churn, owner hovering.
 			Name: "laptop", CPU: hw.CPU{Cores: 2, FreqHz: 1.6e9, BusK: 0.45}, Weight: 0.20,
 			MeanOnMin: 50, MeanOffMin: 90,
 			MeanActiveMin: 12, MeanIdleMin: 9,
+			UpMbps: 20, DownMbps: 20, // campus 802.11g, effective rate
 		},
 	}
 }
@@ -89,6 +99,19 @@ func splitmix(x uint64) uint64 {
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	return x ^ (x >> 31)
+}
+
+// hostLinkBps draws host g's access-link rates in bits/second: the
+// class means scaled by a uniform ±40% spread (duplex mismatches, wifi
+// placement, cross-building uplinks). The draw runs on its own derived
+// stream — never the owner or environment RNGs — so enabling migration
+// cannot perturb a single churn or latency draw.
+func hostLinkBps(class *Class, seed uint64, g int) (upBps, downBps float64) {
+	rng := sim.RNG{}
+	rng.SetState(splitmix(hostSeed(seed, g) ^ 0x6e65746c696e6b)) // "netlink"
+	upBps = class.UpMbps * 1e6 * (0.6 + 0.8*rng.Float64())
+	downBps = class.DownMbps * 1e6 * (0.6 + 0.8*rng.Float64())
+	return upBps, downBps
 }
 
 // classIndexFor deterministically assigns host g its class index by

@@ -48,6 +48,24 @@
 // carry. When the owner returns, the host restores the checkpoint and
 // resumes the same unit.
 //
+// # Checkpoint migration
+//
+// Scenario.Migration turns that transportable checkpoint into an
+// actual migration over a modeled network (internal/netsim: per-class
+// host access links, a Scenario.BandwidthMbps server frontend per
+// population slice, max-min fair sharing). Under "on-departure" a
+// departing host uploads its checkpoint so the server can re-place
+// the unit — pull-based, oldest first — on the next volunteer to ask
+// for work, which pays a download gap before resuming at the carried
+// progress; under "eager" running hosts keep a server-side copy fresh
+// with periodic incremental syncs, so departures migrate instantly
+// from a copy that is up to one sync period stale. Migration never
+// crosses a population slice, so shards stay pure and the worker-count
+// determinism contract holds; "none" (the default) leaves the whole
+// plane disengaged and is byte-identical to the pre-migration
+// simulator (see ARCHITECTURE.md, "Checkpoint migration over the
+// modeled network").
+//
 // # Sharding and determinism
 //
 // A fleet is partitioned into shards of at most ShardSize hosts. Host

@@ -88,6 +88,11 @@ func TestValidateErrorTable(t *testing.T) {
 			s.Machines = 3
 			s.Replication = 4
 		}, []string{"replication factor 4", "population 3"}, false},
+		{"unknown migration lists valid", func(s *Scenario) { s.Migration = "live" },
+			append([]string{`unknown migration policy "live"`}, MigrationPolicies()...), false},
+		{"negative bandwidth", func(s *Scenario) { s.BandwidthMbps = -100 },
+			[]string{"bandwidth -100", "positive"}, false},
+		{"valid migration defaults bandwidth", func(s *Scenario) { s.Migration = "on-departure" }, nil, true},
 	} {
 		scn := Scenario{}
 		tc.mutate(&scn)
@@ -106,6 +111,22 @@ func TestValidateErrorTable(t *testing.T) {
 				t.Fatalf("%s: error %q does not mention %q", tc.name, err, want)
 			}
 		}
+	}
+}
+
+// TestKeyCanonicalizesInertBandwidth: without migration the transfer
+// plane never engages, so bandwidth must not split the cache scope — a
+// migration×bandwidth sweep simulates its none point once. With
+// migration on, bandwidth is load-bearing and must distinguish scopes.
+func TestKeyCanonicalizesInertBandwidth(t *testing.T) {
+	a := Scenario{BandwidthMbps: 100}.Normalize()
+	b := Scenario{BandwidthMbps: 1000}.Normalize()
+	if a.Key() != b.Key() {
+		t.Fatalf("migration=none scopes differ by inert bandwidth:\n%s\n%s", a.Key(), b.Key())
+	}
+	a.Migration, b.Migration = "on-departure", "on-departure"
+	if a.Key() == b.Key() {
+		t.Fatal("bandwidth missing from a migrating scenario's scope")
 	}
 }
 

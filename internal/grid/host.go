@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vmdg/internal/boinc"
+	"vmdg/internal/netsim"
 	"vmdg/internal/sim"
 	"vmdg/internal/vmm"
 )
@@ -53,6 +54,18 @@ type host struct {
 
 	completion sim.Handle
 	flip       sim.Handle
+
+	// Checkpoint-migration state (see migrate.go; all inert when the
+	// scenario's migration policy is "none"). upBps/downBps are the
+	// host's access-link rates toward the server; at most one netsim
+	// transfer is in flight per host, tagged by xferKind.
+	upBps, downBps float64
+	xfer           *netsim.Transfer
+	xferKind       uint8
+	pendingMig     migUnit
+	synced         syncState
+	syncChunks     int
+	syncTimer      sim.Handle
 }
 
 // The timer arms give each of the host's event kinds a distinct
@@ -197,12 +210,23 @@ func (h *host) complete(now sim.Time) {
 	h.submit(now)
 	h.ckpt = nil
 	h.hasWork = false
+	if h.env.mig != nil {
+		h.migUnitDone()
+	}
 	h.requestWork(now)
 	h.scheduleCompletion(now)
 }
 
-// requestWork asks the shard's server for a fresh unit.
+// requestWork asks the shard's server for work: the oldest checkpoint
+// awaiting migration if the server holds one (downloading it costs
+// modeled transfer time), a fresh unit otherwise.
 func (h *host) requestWork(now sim.Time) {
+	if m := h.env.mig; m != nil {
+		if mu, ok := m.pop(); ok {
+			h.beginMigDownload(now, mu)
+			return
+		}
+	}
 	h.wu = h.env.policy.Assign(h.id, now)
 	h.hasWork = true
 	h.progress = 0
@@ -219,6 +243,9 @@ func (h *host) powerOn(now sim.Time, ownerPresent bool) {
 	h.on = true
 	h.onStart = now
 	h.accrued = now
+	if m := h.env.mig; m != nil {
+		h.migReturn(now, m)
+	}
 	switch {
 	case h.ckpt != nil:
 		if err := h.restoreCheckpoint(); err != nil {
@@ -269,6 +296,9 @@ func (h *host) powerOff(now sim.Time) {
 	}
 	if h.hasWork {
 		h.ckpt = h.encodeCheckpoint(now)
+	}
+	if m := h.env.mig; m != nil {
+		h.migDepart(now, m)
 	}
 	h.env.sim.Schedule(now+h.exp(h.class.MeanOffMin), "power-on", (*powerOnArm)(h))
 }

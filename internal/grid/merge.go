@@ -92,8 +92,15 @@ func (fr *FleetResult) Header() string {
 	if s.Churn {
 		churn = "on"
 	}
-	return fmt.Sprintf("fleet: %d hosts × %d virtual minutes, policy %s, churn %s, %.0f%% faulty, seed %d",
+	h := fmt.Sprintf("fleet: %d hosts × %d virtual minutes, policy %s, churn %s, %.0f%% faulty, seed %d",
 		fr.Hosts, s.Minutes, s.Policy, churn, s.FaultyFrac*100, s.Seed)
+	// The migration clause (and the wider table below) appears only
+	// when the scenario migrates, so migration-free output stays
+	// byte-identical to the pre-migration renderer.
+	if s.Migrates() {
+		h += fmt.Sprintf(", migration %s @ %g Mbit/s", s.Migration, s.BandwidthMbps)
+	}
+	return h
 }
 
 // Render returns the fleet table: per environment, the science the
@@ -102,12 +109,17 @@ func (fr *FleetResult) Header() string {
 // (bad, invalid, duplicates), and what the volunteers felt
 // (interactive latency percentiles).
 func (fr *FleetResult) Render() string {
+	mig := fr.Scenario.Migrates()
 	var b strings.Builder
 	b.WriteString(fr.Header())
 	b.WriteString("\n\n")
-	fmt.Fprintf(&b, "%-14s %9s %6s %4s %7s %4s %6s %8s %10s %7s %8s %7s %7s\n",
+	fmt.Fprintf(&b, "%-14s %9s %6s %4s %7s %4s %6s %8s %10s %7s %8s %7s %7s",
 		"environment", "validated", "outst", "bad", "invalid", "dup",
 		"evict", "restores", "lost-chnk", "avail%", "active%", "p50ms", "p95ms")
+	if mig {
+		fmt.Fprintf(&b, " %6s %9s %7s %7s", "migr", "saved-min", "tx-MB", "rx-MB")
+	}
+	b.WriteByte('\n')
 	for _, st := range fr.Envs {
 		horizon := float64(fr.Scenario.Minutes) * 60 * float64(st.Hosts)
 		avail := 0.0
@@ -118,11 +130,17 @@ func (fr *FleetResult) Render() string {
 		if st.OnSeconds > 0 {
 			activePct = 100 * st.ActiveSeconds / st.OnSeconds
 		}
-		fmt.Fprintf(&b, "%-14s %9d %6d %4d %7d %4d %6d %8d %10d %7.1f %8.1f %7.1f %7.1f\n",
+		fmt.Fprintf(&b, "%-14s %9d %6d %4d %7d %4d %6d %8d %10d %7.1f %8.1f %7.1f %7.1f",
 			st.Env, st.Policy.Validated, st.Policy.Outstanding, st.Policy.Bad,
 			st.Policy.Invalid, st.Policy.Duplicates, st.Evictions, st.Restores,
 			st.LostChunks, avail, activePct,
 			st.Latency.Percentile(0.50), st.Latency.Percentile(0.95))
+		if mig {
+			fmt.Fprintf(&b, " %6d %9.1f %7.1f %7.1f",
+				st.Migrations, st.MigSavedSec/60,
+				float64(st.MigTxBytes)/1e6, float64(st.MigRxBytes)/1e6)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
@@ -134,27 +152,54 @@ func CSVHeader() string {
 	return "variant,env,hosts,units_issued,assignments,returned,validated,outstanding,bad,invalid,duplicates,evictions,restores,lost_chunks,on_seconds,active_seconds,p50_ms,p95_ms\n"
 }
 
+// MigCSVHeader is the migration-aware fleet CSV header: the plain
+// columns plus the transfer-plane measurements. Artifacts use it only
+// when at least one scenario in them migrates, so migration-free CSVs
+// keep their pre-migration byte-exact form.
+func MigCSVHeader() string {
+	return strings.TrimSuffix(CSVHeader(), "\n") +
+		",migrations,mig_saved_chunks,mig_saved_min,mig_tx_bytes,mig_rx_bytes\n"
+}
+
 // CSVRows returns the fleet's data rows labelled with variant; an
 // empty variant defaults to the scenario's policy name, so rows are
 // always distinguishable.
 func (fr *FleetResult) CSVRows(variant string) string {
+	return fr.csvRows(variant, false)
+}
+
+// MigCSVRows is CSVRows with the MigCSVHeader columns appended.
+func (fr *FleetResult) MigCSVRows(variant string) string {
+	return fr.csvRows(variant, true)
+}
+
+func (fr *FleetResult) csvRows(variant string, mig bool) string {
 	if variant == "" {
 		variant = fr.Scenario.Policy
 	}
 	var b strings.Builder
 	for _, st := range fr.Envs {
-		fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f,%.1f,%.3f,%.3f\n",
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f,%.1f,%.3f,%.3f",
 			variant, st.Env, st.Hosts, st.Policy.UnitsIssued, st.Policy.Assignments,
 			st.Policy.Returned, st.Policy.Validated, st.Policy.Outstanding,
 			st.Policy.Bad, st.Policy.Invalid, st.Policy.Duplicates,
 			st.Evictions, st.Restores, st.LostChunks,
 			st.OnSeconds, st.ActiveSeconds,
 			st.Latency.Percentile(0.50), st.Latency.Percentile(0.95))
+		if mig {
+			fmt.Fprintf(&b, ",%d,%d,%.1f,%d,%d",
+				st.Migrations, st.MigSavedChunks, st.MigSavedSec/60,
+				st.MigTxBytes, st.MigRxBytes)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
 
 // CSV returns the machine-readable form of a standalone fleet table.
 func (fr *FleetResult) CSV() string {
+	if fr.Scenario.Migrates() {
+		return MigCSVHeader() + fr.MigCSVRows("")
+	}
 	return CSVHeader() + fr.CSVRows("")
 }

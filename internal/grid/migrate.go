@@ -1,0 +1,310 @@
+package grid
+
+import (
+	"vmdg/internal/boinc"
+	"vmdg/internal/netsim"
+	"vmdg/internal/sim"
+	"vmdg/internal/vmm"
+)
+
+// This file is the server-mediated checkpoint-migration layer: what a
+// Scenario.Migration policy other than "none" adds on top of the plain
+// churn model. Checkpoints move over an internal/netsim star network
+// (per-host access links, capacity-limited server frontend), and a
+// departed host's work unit can resume on another volunteer instead of
+// waiting out the owner's off-gap. Everything here runs inside one
+// shard's event loop, so the engine's shard purity — and with it the
+// worker-count determinism contract — is untouched: a migration never
+// crosses a population slice, just as a real sharded project server
+// re-places work within the frontend that holds the checkpoint.
+
+// migSyncPeriod is the eager policy's sync cadence: how often a
+// running host pushes an incremental checkpoint to the server.
+const migSyncPeriod = 5 * 60 * sim.Second
+
+// migFullBytes models the on-the-wire size of one transportable VM
+// checkpoint: the guest RAM image (compressed ~4:1 — checkpoint
+// streams are highly redundant) plus the overlay metadata and progress
+// file. A native host ships only the worker's own state.
+func migFullBytes(prof vmm.Profile) int64 {
+	return prof.RAMBytes/4 + 4096
+}
+
+// migSyncBytes models one eager incremental sync: the pages dirtied
+// since the last push — a fixed fraction of the full image, floored at
+// the progress file itself.
+func migSyncBytes(prof vmm.Profile) int64 {
+	if b := migFullBytes(prof) / 8; b > 4096 {
+		return b
+	}
+	return 4096
+}
+
+// migUnit is one server-held checkpoint awaiting placement on a new
+// host.
+type migUnit struct {
+	wu     boinc.WorkUnit
+	chunks int   // progress the checkpoint carries
+	bytes  int64 // modeled download size at placement
+}
+
+// migrator is one shard's migration plane: the netsim network plus the
+// server's queue of checkpoints awaiting a volunteer. Placement is
+// pull-based — the next host to ask for work (after a completion or a
+// power-on) receives the oldest queued checkpoint instead of a fresh
+// unit — which keeps the server call sequence exactly as deterministic
+// as the plain Assign path.
+type migrator struct {
+	env     *envShard
+	net     *netsim.Network
+	pending []migUnit
+	eager   bool
+}
+
+// newMigrator wires the shard's migration plane onto its simulator.
+func newMigrator(env *envShard, s *sim.Simulator) *migrator {
+	return &migrator{
+		env:   env,
+		net:   netsim.New(s, netsim.Config{AggregateBps: env.scn.BandwidthMbps * 1e6}),
+		eager: env.scn.Migration == "eager",
+	}
+}
+
+// enqueue appends a checkpoint to the placement queue.
+func (m *migrator) enqueue(mu migUnit) { m.pending = append(m.pending, mu) }
+
+// requeueFront returns a checkpoint whose download died with its
+// target host; it keeps its place at the head of the queue.
+func (m *migrator) requeueFront(mu migUnit) {
+	m.pending = append([]migUnit{mu}, m.pending...)
+}
+
+// pop takes the oldest queued checkpoint still worth placing. Units
+// the policy has meanwhile validated — a deadline reissue that came
+// back, a quorum that completed — are dropped here rather than
+// downloaded and recomputed: the server knows its own canon.
+func (m *migrator) pop() (migUnit, bool) {
+	for len(m.pending) > 0 {
+		mu := m.pending[0]
+		m.pending = m.pending[1:]
+		if m.env.policy.Needed(mu.wu) {
+			return mu, true
+		}
+	}
+	return migUnit{}, false
+}
+
+// The hosts' transfer kinds: at most one transfer is in flight per
+// host, tagged with what it is moving.
+const (
+	xferNone         = iota
+	xferDepartUpload // departing checkpoint moving up to the server
+	xferSyncUpload   // eager incremental sync moving up
+	xferMigDownload  // migrated checkpoint moving down to a new host
+)
+
+// syncState records what the server holds for the host's current unit
+// under the eager policy.
+type syncState struct {
+	seed   uint64
+	chunks int
+	ok     bool
+}
+
+// The migration arms extend the host's closure-free event vocabulary
+// (see the timer arms in host.go) to netsim completion sinks.
+type (
+	departUpSink host
+	syncUpSink   host
+	migDownSink  host
+	syncTimerArm host
+)
+
+func (a *departUpSink) TransferDone(now sim.Time, t *netsim.Transfer) {
+	(*host)(a).departUploadDone(now, t)
+}
+func (a *syncUpSink) TransferDone(now sim.Time, t *netsim.Transfer) {
+	(*host)(a).syncUploadDone(now, t)
+}
+func (a *migDownSink) TransferDone(now sim.Time, t *netsim.Transfer) {
+	(*host)(a).migDownloadDone(now, t)
+}
+func (a *syncTimerArm) Fire(now sim.Time) { (*host)(a).syncTick(now) }
+
+// cancelXfer abandons the host's in-flight transfer, crediting the
+// bytes the fluid model already moved to the direction's counter —
+// the partial traffic occupied the shared frontend all the same.
+func (h *host) cancelXfer() {
+	t := h.xfer
+	if t == nil {
+		return
+	}
+	h.env.mig.net.Cancel(t) // advances the fluid model to now first
+	moved := t.Bytes() - t.Remaining()
+	if h.xferKind == xferMigDownload {
+		h.env.stats.MigRxBytes += moved
+	} else {
+		h.env.stats.MigTxBytes += moved
+	}
+	h.xfer, h.xferKind = nil, xferNone
+}
+
+// migDepart runs at power-off, after the eviction rollback has settled
+// h.progress and encoded h.ckpt: whatever transfer the session had in
+// flight dies with it, and the scenario's policy decides whether the
+// checkpoint leaves the machine.
+func (h *host) migDepart(now sim.Time, m *migrator) {
+	if h.xfer != nil {
+		wasDownload := h.xferKind == xferMigDownload
+		h.cancelXfer()
+		if wasDownload {
+			// The half-downloaded checkpoint goes back to the head of
+			// the queue for the next volunteer.
+			m.requeueFront(h.pendingMig)
+			h.pendingMig = migUnit{}
+		}
+	}
+	h.syncTimer.Cancel()
+	h.syncTimer = sim.Handle{}
+	if !h.hasWork || h.ckpt == nil {
+		return
+	}
+	kept := int(h.progress)
+	switch {
+	case m.eager:
+		// The server migrates its own latest synced copy — available
+		// the instant the host departs, but stale relative to the
+		// local checkpoint; the staleness is recomputed by the
+		// receiving host and accounted as lost chunks here. Without a
+		// synced copy for this unit the checkpoint stays local, as
+		// under "none".
+		if h.synced.ok && h.synced.seed == h.wu.Seed && h.synced.chunks > 0 {
+			carry := h.synced.chunks
+			if carry > kept {
+				carry = kept
+			}
+			h.env.stats.LostChunks += int64(kept - carry)
+			m.enqueue(migUnit{wu: h.wu, chunks: carry, bytes: migFullBytes(h.env.prof)})
+			h.clearWork()
+		}
+	case kept > 0:
+		// on-departure: the checkpoint must first travel up the
+		// host's own uplink; until the upload drains, the unit can
+		// still resume locally if the owner returns early.
+		h.xfer = m.net.Start(migFullBytes(h.env.prof), h.upBps, (*departUpSink)(h))
+		h.xferKind = xferDepartUpload
+	}
+}
+
+// migReturn runs at power-on, before the checkpoint-restore switch: a
+// departure upload the owner outran is abandoned (the unit resumes
+// locally, exactly as under "none"), and eager hosts restart their
+// sync cadence.
+func (h *host) migReturn(now sim.Time, m *migrator) {
+	if h.xfer != nil && h.xferKind == xferDepartUpload {
+		h.cancelXfer()
+	}
+	if m.eager {
+		h.armSyncTimer(now)
+	}
+}
+
+// departUploadDone fires when a departed host's checkpoint finishes
+// draining to the server: the unit now belongs to the server's queue,
+// and the local copy is gone for good.
+func (h *host) departUploadDone(now sim.Time, t *netsim.Transfer) {
+	h.xfer, h.xferKind = nil, xferNone
+	h.env.stats.MigTxBytes += t.Bytes()
+	h.env.mig.enqueue(migUnit{wu: h.wu, chunks: int(h.progress), bytes: migFullBytes(h.env.prof)})
+	h.clearWork()
+}
+
+// beginMigDownload starts pulling a queued checkpoint onto this host.
+// Until the download drains the host computes nothing — the work-fetch
+// gap a real client pays when it inherits a fat VM image.
+func (h *host) beginMigDownload(now sim.Time, mu migUnit) {
+	h.hasWork = false
+	h.progress = 0
+	h.accrued = now
+	h.pendingMig = mu
+	h.xfer = h.env.mig.net.Start(mu.bytes, h.downBps, (*migDownSink)(h))
+	h.xferKind = xferMigDownload
+}
+
+// migDownloadDone resumes the migrated unit at its checkpointed
+// progress. The carried chunks are science the grid did not have to
+// recompute; they are credited at the receiving host's current rate.
+func (h *host) migDownloadDone(now sim.Time, t *netsim.Transfer) {
+	mu := h.pendingMig
+	h.pendingMig = migUnit{}
+	h.xfer, h.xferKind = nil, xferNone
+	st := h.env.stats
+	st.Migrations++
+	st.MigRxBytes += t.Bytes()
+	st.MigSavedChunks += int64(mu.chunks)
+	st.MigSavedSec += float64(mu.chunks) / h.rate()
+	h.wu = mu.wu
+	h.progress = float64(mu.chunks)
+	h.hasWork = true
+	h.accrued = now
+	h.scheduleCompletion(now)
+}
+
+// armSyncTimer schedules the next eager sync tick.
+func (h *host) armSyncTimer(now sim.Time) {
+	h.syncTimer = h.env.sim.Schedule(now+migSyncPeriod, "mig-sync", (*syncTimerArm)(h))
+}
+
+// syncTick pushes an incremental checkpoint to the server when the
+// host has new periodic-checkpoint progress to report and no other
+// transfer in flight.
+func (h *host) syncTick(now sim.Time) {
+	h.syncTimer = sim.Handle{}
+	if !h.on {
+		return
+	}
+	h.armSyncTimer(now)
+	if !h.hasWork || h.xfer != nil {
+		return
+	}
+	h.accrue(now)
+	every := h.wu.CheckpointEvery
+	if every < 1 {
+		every = 1
+	}
+	snap := int(h.progress) / every * every
+	if snap <= 0 {
+		return
+	}
+	if h.synced.ok && h.synced.seed == h.wu.Seed && h.synced.chunks >= snap {
+		return // the server copy is already this fresh
+	}
+	h.syncChunks = snap
+	h.xfer = h.env.mig.net.Start(migSyncBytes(h.env.prof), h.upBps, (*syncUpSink)(h))
+	h.xferKind = xferSyncUpload
+}
+
+// syncUploadDone records the server's refreshed copy.
+func (h *host) syncUploadDone(now sim.Time, t *netsim.Transfer) {
+	h.xfer, h.xferKind = nil, xferNone
+	h.env.stats.MigTxBytes += t.Bytes()
+	h.synced = syncState{seed: h.wu.Seed, chunks: h.syncChunks, ok: true}
+}
+
+// migUnitDone runs when the host submits its current unit: a sync
+// still in flight is for a dead unit, and the server copy is obsolete.
+func (h *host) migUnitDone() {
+	if h.xfer != nil && h.xferKind == xferSyncUpload {
+		h.cancelXfer()
+	}
+	h.synced = syncState{}
+}
+
+// clearWork strips the host of its unit after the server took it over.
+func (h *host) clearWork() {
+	h.wu = boinc.WorkUnit{}
+	h.progress = 0
+	h.hasWork = false
+	h.ckpt = nil
+	h.synced = syncState{}
+}

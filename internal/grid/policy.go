@@ -64,6 +64,11 @@ type Policy interface {
 	Assign(host string, now sim.Time) boinc.WorkUnit
 	// Submit records a returned result.
 	Submit(host string, wu boinc.WorkUnit, result int, now sim.Time)
+	// Needed reports whether the unit still lacks a validated result —
+	// the liveness check the migration queue applies before placing a
+	// checkpoint, so a unit the policy meanwhile validated (a deadline
+	// reissue, a completed quorum) is dropped instead of recomputed.
+	Needed(wu boinc.WorkUnit) bool
 	// Stats summarizes the shard when the horizon is reached.
 	Stats() PolicyStats
 }
@@ -154,6 +159,11 @@ func (p *fifoPolicy) Submit(host string, wu boinc.WorkUnit, result int, now sim.
 	}
 }
 
+// Needed: fifo issues each unit exactly once and never reissues, so a
+// unit still held by a checkpoint cannot have been validated by
+// anyone else.
+func (p *fifoPolicy) Needed(wu boinc.WorkUnit) bool { return true }
+
 func (p *fifoPolicy) Stats() PolicyStats {
 	st := p.st
 	st.Outstanding = st.UnitsIssued - st.Validated
@@ -218,6 +228,13 @@ func (p *deadlinePolicy) Submit(host string, wu boinc.WorkUnit, result int, now 
 	}
 }
 
+// Needed: a reissued unit may have been validated by its rescuer
+// while the original checkpoint sat in the migration queue.
+func (p *deadlinePolicy) Needed(wu boinc.WorkUnit) bool {
+	u := p.bySeed[wu.Seed]
+	return u == nil || !u.done
+}
+
 func (p *deadlinePolicy) Stats() PolicyStats {
 	st := p.st
 	st.Outstanding = st.UnitsIssued - st.Validated
@@ -249,6 +266,13 @@ func (p *quorumPolicy) Assign(host string, now sim.Time) boinc.WorkUnit {
 func (p *quorumPolicy) Submit(host string, wu boinc.WorkUnit, result int, now sim.Time) {
 	p.st.Returned++
 	p.p.SubmitResult(host, wu.ID, result)
+}
+
+// Needed: a unit whose quorum completed while the checkpoint was in
+// transit has a canonical result; recomputing a replica adds nothing.
+func (p *quorumPolicy) Needed(wu boinc.WorkUnit) bool {
+	_, decided := p.p.Canonical(wu.ID)
+	return !decided
 }
 
 func (p *quorumPolicy) Stats() PolicyStats {

@@ -22,6 +22,11 @@ const (
 	MaxMinutes  = 366 * 24 * 60
 )
 
+// DefaultBandwidthMbps is the default aggregate capacity, in Mbit/s,
+// of the server frontend serving one population slice: a gigabit NIC
+// per frontend of the (sharded) project server.
+const DefaultBandwidthMbps = 1000
+
 // Scenario describes one fleet simulation. The zero value is not
 // runnable; call Normalize (idempotent) to fill defaults and Validate
 // to check it.
@@ -58,10 +63,27 @@ type Scenario struct {
 	// Envs lists the VM environments to fleet (profile names accepted
 	// by profiles.ByName). Empty means the paper's four environments.
 	Envs []string
+
+	// Migration selects server-mediated checkpoint migration over the
+	// modeled network: "none" keeps checkpoints on their host (the
+	// paper's baseline — a departed host's work waits for its return),
+	// "on-departure" has a departing host upload its checkpoint so the
+	// server can re-place the unit on another volunteer, and "eager"
+	// keeps a server-side copy fresh with periodic incremental syncs so
+	// a departure migrates instantly from the latest copy.
+	Migration string
+	// BandwidthMbps is the aggregate transfer capacity, in Mbit/s, of
+	// the server frontend serving each population slice (the server
+	// farm is sharded exactly like the simulation, so capacity scales
+	// with the fleet). Zero means DefaultBandwidthMbps.
+	BandwidthMbps float64
 }
 
 // Policies names the valid scheduling policies.
 func Policies() []string { return []string{"fifo", "deadline", "replication"} }
+
+// MigrationPolicies names the valid checkpoint-migration policies.
+func MigrationPolicies() []string { return []string{"none", "on-departure", "eager"} }
 
 // EnvNames returns every valid -env value: exactly the profile names
 // ByName resolves.
@@ -98,8 +120,20 @@ func (s Scenario) Normalize() Scenario {
 			s.Envs = append(s.Envs, p.Name)
 		}
 	}
+	if s.Migration == "" {
+		s.Migration = "none"
+	}
+	// Exactly zero means unset; a negative bandwidth is left for
+	// Validate to reject rather than silently papered over.
+	if s.BandwidthMbps == 0 {
+		s.BandwidthMbps = DefaultBandwidthMbps
+	}
 	return s
 }
+
+// Migrates reports whether the (normalized) scenario moves checkpoints
+// between hosts — the switch for the extra table and CSV columns.
+func (s Scenario) Migrates() bool { return s.Normalize().Migration != "none" }
 
 // Validate reports the first configuration error. Unknown environment
 // names list the valid set.
@@ -135,6 +169,20 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("grid: replication factor %d exceeds the population %d (valid: 1..%d)",
 			s.Replication, s.Machines, s.Machines)
 	}
+	ok = false
+	for _, p := range MigrationPolicies() {
+		if s.Migration == p {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return fmt.Errorf("grid: unknown migration policy %q (valid: %s)",
+			s.Migration, strings.Join(MigrationPolicies(), ", "))
+	}
+	if s.BandwidthMbps < 0 {
+		return fmt.Errorf("grid: bandwidth %g Mbit/s must be positive", s.BandwidthMbps)
+	}
 	return nil
 }
 
@@ -152,9 +200,17 @@ func (s Scenario) envProfiles() []vmm.Profile {
 // (those are carried by the engine config) into a cache-scope string.
 func (s Scenario) Key() string {
 	s = s.Normalize()
-	return fmt.Sprintf("machines=%d|min=%d|churn=%t|policy=%s|rep=%d|ddl=%g|faulty=%g|chunks=%d|envs=%s",
+	// Bandwidth is inert without migration — the transfer plane never
+	// engages — so the scope canonicalizes it under "none": the none
+	// point of a migration×bandwidth sweep is simulated once and
+	// shares shards with every plain fleet run of the same scenario.
+	bw := s.BandwidthMbps
+	if s.Migration == "none" {
+		bw = DefaultBandwidthMbps
+	}
+	return fmt.Sprintf("machines=%d|min=%d|churn=%t|policy=%s|rep=%d|ddl=%g|faulty=%g|chunks=%d|envs=%s|mig=%s|bw=%g",
 		s.Machines, s.Minutes, s.Churn, s.Policy, s.Replication, s.DeadlineMin,
-		s.FaultyFrac, s.ChunksPerUnit, strings.Join(s.Envs, "+"))
+		s.FaultyFrac, s.ChunksPerUnit, strings.Join(s.Envs, "+"), s.Migration, bw)
 }
 
 // popShards reports how many slices the population splits into.

@@ -33,6 +33,20 @@ type EnvStats struct {
 	// owners were active (the paper's intrusiveness metric).
 	Latency Histogram
 
+	// Checkpoint migration over the modeled network (all zero when the
+	// scenario's migration policy is "none", so plain payloads keep
+	// their pre-migration JSON form): units re-placed onto a new host,
+	// bytes moved through the server frontend in each direction —
+	// including the transferred portion of transfers cancelled
+	// mid-flight, which occupied the shared frontend all the same —
+	// and the recompute the carried progress spared the receiving
+	// hosts.
+	Migrations     int     `json:",omitempty"`
+	MigTxBytes     int64   `json:",omitempty"`
+	MigRxBytes     int64   `json:",omitempty"`
+	MigSavedChunks int64   `json:",omitempty"`
+	MigSavedSec    float64 `json:",omitempty"`
+
 	// Fired counts simulator events, a determinism probe.
 	Fired uint64
 }
@@ -47,6 +61,11 @@ func (s *EnvStats) merge(other *EnvStats) {
 	s.OnSeconds += other.OnSeconds
 	s.ActiveSeconds += other.ActiveSeconds
 	s.Latency.Merge(&other.Latency)
+	s.Migrations += other.Migrations
+	s.MigTxBytes += other.MigTxBytes
+	s.MigRxBytes += other.MigRxBytes
+	s.MigSavedChunks += other.MigSavedChunks
+	s.MigSavedSec += other.MigSavedSec
 	s.Fired += other.Fired
 }
 
@@ -67,8 +86,15 @@ type envShard struct {
 	sim    *sim.Simulator
 	policy Policy
 	stats  *EnvStats
+	// mig is the shard's checkpoint-migration plane (netsim network +
+	// server-side placement queue); nil when the scenario's migration
+	// policy is "none", which keeps that path byte-identical to the
+	// pre-migration simulator.
+	mig *migrator
 	// batch is set when the policy is timeFree: hosts settle unit
 	// completions arithmetically instead of firing completion events.
+	// Migration makes work assignment time- and cross-host-dependent
+	// (the server queue), so migrating shards always run event-driven.
 	batch bool
 }
 
@@ -115,7 +141,10 @@ func runEnvShard(scn Scenario, prof vmm.Profile, shard, lo, hi int) (*EnvStats, 
 		stats:  &EnvStats{Env: prof.Name, Hosts: hi - lo},
 	}
 	_, free := env.policy.(timeFree)
-	env.batch = free && batchCompletions
+	env.batch = free && batchCompletions && scn.Migration == "none"
+	if scn.Migration != "none" {
+		env.mig = newMigrator(env, s)
+	}
 
 	// Calibrations are resolved once per class actually present in the
 	// shard; every host of the class shares the same read-only pointer.
@@ -143,6 +172,9 @@ func runEnvShard(scn Scenario, prof vmm.Profile, shard, lo, hi int) (*EnvStats, 
 		h.ownerRNG = *sim.NewRNG(hostSeed(scn.Seed, g))
 		h.envRNG = *sim.NewRNG(envSeed(scn.Seed, prof.Name, g))
 		h.faulty = h.ownerRNG.Float64() < scn.FaultyFrac
+		if env.mig != nil {
+			h.upBps, h.downBps = hostLinkBps(class, scn.Seed, g)
+		}
 
 		if !scn.Churn {
 			h.powerOn(0, h.stationaryActive())

@@ -63,6 +63,8 @@ type Spec struct {
 	DeadlineMin   []float64 `json:"deadline_min,omitempty"`
 	FaultyFrac    []float64 `json:"faulty,omitempty"`
 	ChunksPerUnit []int     `json:"chunks_per_unit,omitempty"`
+	Migration     []string  `json:"migration,omitempty"`
+	Bandwidth     []float64 `json:"bandwidth,omitempty"`
 }
 
 // AxisValue is one axis's value at one sweep point, in the axis's
@@ -190,6 +192,26 @@ func specAxes() []axis {
 				return
 			},
 		},
+		{
+			name:  "migration",
+			len:   func(sp *Spec) int { return len(sp.Migration) },
+			value: func(sp *Spec, i int) string { return sp.Migration[i] },
+			apply: func(scn *Scenario, sp *Spec, i int) { scn.Migration = sp.Migration[i] },
+			set: func(sp *Spec, list string) error {
+				sp.Migration = parseStringList(list)
+				return nil
+			},
+		},
+		{
+			name:  "bandwidth",
+			len:   func(sp *Spec) int { return len(sp.Bandwidth) },
+			value: func(sp *Spec, i int) string { return formatFloat(sp.Bandwidth[i]) },
+			apply: func(scn *Scenario, sp *Spec, i int) { scn.BandwidthMbps = sp.Bandwidth[i] },
+			set: func(sp *Spec, list string) (err error) {
+				sp.Bandwidth, err = parseFloatList(list)
+				return
+			},
+		},
 	}
 }
 
@@ -241,7 +263,24 @@ func (sp Spec) Normalize() Spec {
 	if len(sp.ChunksPerUnit) == 0 {
 		sp.ChunksPerUnit = []int{def.ChunksPerUnit}
 	}
+	if len(sp.Migration) == 0 {
+		sp.Migration = []string{def.Migration}
+	}
+	if len(sp.Bandwidth) == 0 {
+		sp.Bandwidth = []float64{def.BandwidthMbps}
+	}
 	return sp
+}
+
+// Migrates reports whether any point of the (normalized) spec migrates
+// checkpoints — the switch for the sweep's extra table/CSV columns.
+func (sp Spec) Migrates() bool {
+	for _, m := range sp.Normalize().Migration {
+		if m != "none" {
+			return true
+		}
+	}
+	return false
 }
 
 // NPoints reports the size of the cartesian grid, capped at
@@ -342,6 +381,11 @@ func (sp Spec) Validate() error {
 	for _, v := range sp.DeadlineMin {
 		if v <= 0 {
 			return fmt.Errorf("grid: spec axis deadline_min value %g must be positive", v)
+		}
+	}
+	for _, v := range sp.Bandwidth {
+		if v <= 0 {
+			return fmt.Errorf("grid: spec axis bandwidth value %g must be positive", v)
 		}
 	}
 	pts, err := sp.Points()

@@ -91,6 +91,8 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 		Policy:      []string{"fifo", "replication"},
 		Replication: []int{2},
 		FaultyFrac:  []float64{0, 0.05},
+		Migration:   []string{"none", "on-departure"},
+		Bandwidth:   []float64{100, 1000},
 	}
 	data, err := sp.JSON()
 	if err != nil {
@@ -152,6 +154,11 @@ func TestSpecValidateErrors(t *testing.T) {
 			sp.Policy = []string{"fifo", "lifo"}
 		}, "point [policy=lifo]"},
 		{"bad env", func(sp *Spec) { sp.Envs = []string{"xen"} }, "unknown environment"},
+		{"zero bandwidth", func(sp *Spec) { sp.Bandwidth = []float64{1000, 0} }, "bandwidth"},
+		{"negative bandwidth", func(sp *Spec) { sp.Bandwidth = []float64{-40} }, "bandwidth"},
+		{"bad migration labels point", func(sp *Spec) {
+			sp.Migration = []string{"none", "live"}
+		}, "point [migration=live]"},
 		{"too many points", func(sp *Spec) {
 			sp.Machines = make([]int, 0, 70)
 			for i := 0; i < 70; i++ {
@@ -187,6 +194,8 @@ func TestSpecSet(t *testing.T) {
 		"quick=on",
 		"envs=vmplayer,qemu",
 		"name=from-sets",
+		"migration=none,on-departure,eager",
+		"bandwidth=100,1000",
 	} {
 		if err := sp.Set(assign); err != nil {
 			t.Fatalf("Set(%q): %v", assign, err)
@@ -212,6 +221,12 @@ func TestSpecSet(t *testing.T) {
 	}
 	if !reflect.DeepEqual(sp.Envs, []string{"vmplayer", "qemu"}) {
 		t.Fatalf("envs = %v", sp.Envs)
+	}
+	if !reflect.DeepEqual(sp.Migration, []string{"none", "on-departure", "eager"}) {
+		t.Fatalf("migration = %v", sp.Migration)
+	}
+	if !reflect.DeepEqual(sp.Bandwidth, []float64{100, 1000}) {
+		t.Fatalf("bandwidth = %v", sp.Bandwidth)
 	}
 
 	for _, tc := range []struct{ assign, wantErr string }{

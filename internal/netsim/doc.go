@@ -1,0 +1,24 @@
+// Package netsim models the volunteer grid's wide-area transfer plane:
+// a star network with every host's uplink/downlink on the edge and a
+// capacity-limited server frontend at the center.
+//
+// The model is fluid rather than per-packet. A transfer is a byte count
+// draining at a rate set by max-min fair sharing: each active transfer
+// receives an equal share of the frontend's aggregate capacity, except
+// that a transfer whose own access link is slower than its share is
+// capped at its link rate and the spare capacity is redistributed to
+// the rest (progressive filling). Rates are recomputed only when the
+// set of active transfers changes — a start, completion, or cancel —
+// so a transfer costs O(active) arithmetic per membership change and
+// exactly one pooled simulator event, not an event per byte or frame.
+// (Per-frame fidelity lives in internal/hw and internal/vmm's NIC
+// models; netsim is the scale-out counterpart for fleets, where a
+// million concurrent byte streams could never be framed individually.)
+//
+// Determinism: transfers are tracked in start order, rate assignment
+// iterates in a deterministic order, and completion events go through
+// the simulator's (time, insertion-seq) queue, so identical call
+// sequences produce bit-identical completion times. There is no
+// randomness inside the package — callers draw per-host link rates
+// from their own seeded streams.
+package netsim
