@@ -64,6 +64,27 @@ func cmdCache(args []string) error {
 		fmt.Printf(", oldest %s ago", time.Since(st.Oldest).Round(time.Minute))
 	}
 	fmt.Println()
+
+	// Fold manifests: the journals that make interrupted sweeps
+	// resumable. A "resumable" manifest is an interrupted run — the
+	// same command line picks it up at the cursor shown here.
+	mis, err := fc.Manifests().List()
+	if err != nil {
+		return err
+	}
+	if len(mis) > 0 {
+		fmt.Printf("manifests: %d (%d resumable, %s)\n", st.Manifests, st.Resumable, formatBytes(st.ManifestBytes))
+		for _, mi := range mis {
+			state := "complete"
+			switch {
+			case mi.Torn:
+				state = "resumable (torn tail)"
+			case !mi.Complete:
+				state = "resumable"
+			}
+			fmt.Printf("  %.12s  %4d/%-4d tasks folded  %s\n", mi.Identity, mi.Cursor, mi.Tasks, state)
+		}
+	}
 	return nil
 }
 

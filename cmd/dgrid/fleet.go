@@ -23,6 +23,7 @@ type fleetOpts struct {
 	quick   bool
 	workers int
 	cache   string
+	resume  bool
 	jsonOut bool
 	csv     bool
 	out     string
@@ -52,6 +53,7 @@ func parseFleetArgs(args []string) (*fleetOpts, error) {
 		"server frontend transfer capacity per population slice, Mbit/s (migration policies)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	cache := fs.String("cache", "", "shard cache directory; 'off' disables (default: the user cache dir)")
+	resume := fs.Bool("resume", true, "journal fold progress and resume an interrupted identical run (needs the cache)")
 	quick := fs.Bool("quick", false, "trim calibration windows (faster, noisier)")
 	jsonOut := fs.Bool("json", false, "emit the merged JSON payload instead of the table")
 	csv := fs.Bool("csv", false, "emit CSV instead of the table")
@@ -106,6 +108,7 @@ func parseFleetArgs(args []string) (*fleetOpts, error) {
 		quick:   *quick,
 		workers: *workers,
 		cache:   *cache,
+		resume:  *resume,
 		jsonOut: *jsonOut,
 		csv:     *csv,
 		out:     *out,
@@ -129,7 +132,7 @@ func cmdFleet(args []string) error {
 	if err != nil {
 		return usageExit(err)
 	}
-	runner, err := newRunner(o.workers, o.cache, o.verbose)
+	runner, err := newRunner(o.workers, o.cache, o.resume, o.verbose)
 	if err != nil {
 		return err
 	}

@@ -24,12 +24,19 @@
 //	dgrid bench -out BENCH_fleet.json
 //	                                # fleet throughput benchmark artifact
 //	dgrid cache -prune              # shard-cache retention maintenance
+//	dgrid cache                     # cache contents + resumable manifests
 //
 // Experiment runs are deterministic per seed and independent of the
 // worker count: `dgrid run all -workers 1` and `-workers 8` emit
 // bit-identical output. Completed shards are cached on disk (keyed by
 // experiment × seed × parameters), so repeated invocations skip work
 // already done; -cache off disables this.
+//
+// Runs over the on-disk cache are also durable: the fold journals its
+// progress to a manifest alongside the cache, so a crashed or killed
+// sweep re-run with the same arguments resumes at the first unfolded
+// shard and replays the rest from cache — byte-identical to an
+// uninterrupted run. -resume=false opts out.
 package main
 
 import (

@@ -57,6 +57,23 @@ func TestParseFleetFlags(t *testing.T) {
 	}
 }
 
+// TestParseResumeFlag: fold journaling is on by default and
+// -resume=false opts out, identically on fleet and sweep.
+func TestParseResumeFlag(t *testing.T) {
+	if o, err := parseFleetArgs(nil); err != nil || !o.resume {
+		t.Fatalf("fleet default: resume=%v err=%v, want on", o != nil && o.resume, err)
+	}
+	if o, err := parseFleetArgs([]string{"-resume=false"}); err != nil || o.resume {
+		t.Fatalf("fleet -resume=false not applied: %+v err=%v", o, err)
+	}
+	if o, err := parseSweepArgs([]string{"-set", "envs=vmplayer"}); err != nil || !o.resume {
+		t.Fatalf("sweep default: resume=%v err=%v, want on", o != nil && o.resume, err)
+	}
+	if o, err := parseSweepArgs([]string{"-set", "envs=vmplayer", "-resume=false"}); err != nil || o.resume {
+		t.Fatalf("sweep -resume=false not applied: %+v err=%v", o, err)
+	}
+}
+
 // TestParseFleetErrors covers the flag-validation error paths with
 // their user-facing messages.
 func TestParseFleetErrors(t *testing.T) {

@@ -18,6 +18,7 @@ type runFlags struct {
 	reps    int
 	quick   bool
 	cache   string
+	resume  bool
 	verbose bool
 }
 
@@ -27,6 +28,7 @@ func (f *runFlags) register(fs *flag.FlagSet) {
 	fs.IntVar(&f.reps, "reps", 3, "measurement repetitions per data point")
 	fs.BoolVar(&f.quick, "quick", false, "trim workload sizes (faster, noisier)")
 	fs.StringVar(&f.cache, "cache", "", "shard cache directory; 'off' disables (default: the user cache dir)")
+	fs.BoolVar(&f.resume, "resume", true, "journal fold progress and resume an interrupted identical run (needs the cache)")
 	fs.BoolVar(&f.verbose, "v", false, "log per-shard progress to stderr")
 }
 
@@ -36,13 +38,15 @@ func (f *runFlags) config() core.Config {
 
 // runner builds the pool from the flags.
 func (f *runFlags) runner() (*engine.Runner, error) {
-	return newRunner(f.workers, f.cache, f.verbose)
+	return newRunner(f.workers, f.cache, f.resume, f.verbose)
 }
 
-// newRunner builds a worker pool (shared by run, report, and fleet).
-// Progress and summary lines go to stderr so stdout stays
-// bit-identical across worker counts and cache states.
-func newRunner(workers int, cache string, verbose bool) (*engine.Runner, error) {
+// newRunner builds a worker pool (shared by run, report, fleet, and
+// sweep). Progress and summary lines go to stderr so stdout stays
+// bit-identical across worker counts and cache states. With resume (the
+// default) and an on-disk cache, the runner journals fold progress to
+// the cache's manifest store, so a killed run picks up where it folded.
+func newRunner(workers int, cache string, resume, verbose bool) (*engine.Runner, error) {
 	r := &engine.Runner{Workers: workers}
 	switch cache {
 	case "off":
@@ -64,8 +68,14 @@ func newRunner(workers int, cache string, verbose bool) (*engine.Runner, error) 
 	// stale builds' entries never hit again (the key embeds the build
 	// fingerprint), so without this the directory only ever grows.
 	// Best-effort: a prune failure is at worst future cache misses.
+	// Prune runs before the manifest store is handed to the runner, so
+	// any journal whose payloads it evicts is truncated first and the
+	// run's resume point is already consistent.
 	if fc, ok := r.Cache.(*engine.FileCache); ok {
 		fc.Prune(engine.DefaultMaxAge, engine.DefaultMaxBytes)
+		if resume {
+			r.Manifests = fc.Manifests()
+		}
 	}
 	if verbose {
 		r.OnEvent = func(ev engine.Event) {
@@ -83,6 +93,10 @@ func newRunner(workers int, cache string, verbose bool) (*engine.Runner, error) 
 }
 
 func summarize(stats engine.Stats) {
+	if stats.Resumed > 0 {
+		fmt.Fprintf(os.Stderr, "dgrid: resumed from manifest: %d tasks verified and replayed from cache\n",
+			stats.Resumed)
+	}
 	fmt.Fprintf(os.Stderr, "dgrid: %d experiments, %d shards (%d cached, %d computed) in %s\n",
 		stats.Experiments, stats.Shards, stats.Hits, stats.Misses, stats.Elapsed.Round(stats.Elapsed/100+1))
 }

@@ -28,6 +28,7 @@ type sweepOpts struct {
 	spec    grid.Spec
 	workers int
 	cache   string
+	resume  bool
 	jsonOut bool
 	csv     bool
 	out     string
@@ -47,6 +48,7 @@ func parseSweepArgs(args []string) (*sweepOpts, error) {
 	quick := fs.Bool("quick", false, "trim calibration windows on every point (faster, noisier)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	cache := fs.String("cache", "", "shard cache directory; 'off' disables (default: the user cache dir)")
+	resume := fs.Bool("resume", true, "journal fold progress and resume an interrupted identical sweep (needs the cache)")
 	jsonOut := fs.Bool("json", false, "emit the merged JSON payload instead of the table")
 	csv := fs.Bool("csv", false, "emit CSV instead of the table")
 	out := fs.String("out", "", "also write sweep.json and sweep.csv artifacts to this directory")
@@ -97,6 +99,7 @@ func parseSweepArgs(args []string) (*sweepOpts, error) {
 		spec:    sp,
 		workers: *workers,
 		cache:   *cache,
+		resume:  *resume,
 		jsonOut: *jsonOut,
 		csv:     *csv,
 		out:     *out,
@@ -121,7 +124,7 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
-	runner, err := newRunner(o.workers, o.cache, o.verbose)
+	runner, err := newRunner(o.workers, o.cache, o.resume, o.verbose)
 	if err != nil {
 		return err
 	}

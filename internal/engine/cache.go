@@ -107,8 +107,14 @@ func (c *MemCache) Len() int {
 // FileCache persists shard payloads under a directory, one file per
 // key, so results survive across CLI invocations. Writes go through a
 // temp file + rename, so concurrent runners never observe a torn entry.
+// Alongside the payloads it keeps a manifest store (the "manifests"
+// subdirectory): the fold journals that make interrupted sweeps
+// resumable. Stats, Prune, and Clear cover both, so the retention caps
+// can never strand a manifest whose payloads were evicted.
 type FileCache struct {
-	dir string
+	dir       string
+	manifests *ManifestStore
+	faults    *Faults
 }
 
 // NewFileCache creates (if needed) and opens a cache directory.
@@ -116,8 +122,15 @@ func NewFileCache(dir string) (*FileCache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("engine: cache dir: %w", err)
 	}
-	return &FileCache{dir: dir}, nil
+	return &FileCache{dir: dir, manifests: NewManifestStore(filepath.Join(dir, "manifests"))}, nil
 }
+
+// Manifests returns the cache's fold-journal store.
+func (c *FileCache) Manifests() *ManifestStore { return c.manifests }
+
+// SetFaults attaches a fault-injection plan to the payload write path
+// (tests only); the manifest store takes its own plan.
+func (c *FileCache) SetFaults(f *Faults) { c.faults = f }
 
 // DefaultCacheDir returns the per-user shard cache location
 // ($XDG_CACHE_HOME/vmdg or the OS equivalent).
@@ -129,10 +142,24 @@ func DefaultCacheDir() (string, error) {
 	return filepath.Join(base, "vmdg"), nil
 }
 
+// keyHash is a cache key's filename stem, shared by the payload files
+// and the manifest records, so a manifest reconciles against payloads
+// by name alone.
+func keyHash(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
 // path maps a key to its file: a hash keeps names short and safe.
 func (c *FileCache) path(key string) string {
-	sum := sha256.Sum256([]byte(key))
-	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
+	return filepath.Join(c.dir, keyHash(key)+".json")
+}
+
+// hasPayloadHash reports whether the payload file for a key hash still
+// exists — the reconcile predicate for the manifest store.
+func (c *FileCache) hasPayloadHash(h string) bool {
+	_, err := os.Stat(filepath.Join(c.dir, h+".json"))
+	return err == nil
 }
 
 // Get returns the stored payload.
@@ -147,14 +174,21 @@ func (c *FileCache) Get(key string) ([]byte, bool) {
 // Put stores a payload atomically.
 func (c *FileCache) Put(key string, payload []byte) {
 	dst := c.path(key)
-	tmp, err := os.CreateTemp(c.dir, "put-*")
-	if err != nil {
+	if _, err := c.faults.check(OpCreate, dst); err != nil {
 		return // cache misses are always recoverable; stay silent
 	}
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return
+	}
 	name := tmp.Name()
-	_, werr := tmp.Write(payload)
+	werr := faultyWrite(c.faults, tmp, dst, payload)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if _, err := c.faults.check(OpRename, dst); err != nil {
 		os.Remove(name)
 		return
 	}
@@ -176,12 +210,18 @@ const (
 	DefaultMaxBytes = 1 << 30 // 1 GiB
 )
 
-// CacheStats describes the on-disk cache contents.
+// CacheStats describes the on-disk cache contents: the shard payload
+// files plus the fold manifests that make runs over them resumable.
 type CacheStats struct {
 	Entries int
 	Bytes   int64
 	Oldest  time.Time // zero when empty
 	Newest  time.Time
+	// Manifests counts the stored fold journals; Resumable counts the
+	// incomplete ones (an interrupted run a re-run would pick up).
+	Manifests     int
+	Resumable     int
+	ManifestBytes int64
 }
 
 // Stats scans the cache directory.
@@ -199,6 +239,17 @@ func (c *FileCache) Stats() (CacheStats, error) {
 		}
 		if e.mod.After(st.Newest) {
 			st.Newest = e.mod
+		}
+	}
+	mis, err := c.manifests.List()
+	if err != nil {
+		return st, err
+	}
+	for _, mi := range mis {
+		st.Manifests++
+		st.ManifestBytes += mi.Bytes
+		if !mi.Complete {
+			st.Resumable++
 		}
 	}
 	return st, nil
@@ -232,10 +283,18 @@ func (c *FileCache) Prune(maxAge time.Duration, maxBytes int64) (removed int, fr
 			total -= e.size // an entry that survived removal still counts against the cap
 		}
 	}
-	return removed, freed, nil
+	// Evicting a payload invalidates every fold the manifests vouched
+	// for past it: truncate each journal's cursor at its first missing
+	// payload (and age-prune the journals themselves), so a resume
+	// never trusts a record whose bytes are gone.
+	mrem, mfreed, err := c.manifests.Reconcile(c.hasPayloadHash, maxAge)
+	if err != nil {
+		return removed, freed, err
+	}
+	return removed + mrem, freed + mfreed, nil
 }
 
-// Clear removes every entry.
+// Clear removes every entry and every manifest.
 func (c *FileCache) Clear() (removed int, freed int64, err error) {
 	entries, err := c.entries()
 	if err != nil {
@@ -247,7 +306,11 @@ func (c *FileCache) Clear() (removed int, freed int64, err error) {
 			freed += e.size
 		}
 	}
-	return removed, freed, nil
+	mrem, mfreed, err := c.manifests.Clear()
+	if err != nil {
+		return removed, freed, err
+	}
+	return removed + mrem, freed + mfreed, nil
 }
 
 type cacheEntry struct {

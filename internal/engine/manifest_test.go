@@ -1,0 +1,320 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Fixed synthetic manifest content: golden fixtures must not depend on
+// the build fingerprint (which real cache keys embed), so these tests
+// journal hand-made identities and digests.
+const (
+	testIdentity = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+	otherIdent   = "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb"
+)
+
+func testRecord(i int) ManifestRecord {
+	return ManifestRecord{
+		Index:   i,
+		KeyHash: fmt.Sprintf("%064x", 0x1000+i),
+		Digest:  fmt.Sprintf("%064x", 0x2000+i),
+	}
+}
+
+// writeJournal builds a journal with n records via the store API,
+// optionally sealing it complete.
+func writeJournal(t *testing.T, s *ManifestStore, identity string, tasks, n int, finish bool) {
+	t.Helper()
+	j, err := s.Start(identity, tasks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		rec := testRecord(i)
+		if err := j.Append(rec.Index, rec.KeyHash, rec.Digest); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if finish {
+		if err := j.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	} else if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalRoundTrip covers the happy path: start, append, finish,
+// load, and the resumed restart that keeps a verified prefix.
+func TestJournalRoundTrip(t *testing.T) {
+	s := NewManifestStore(t.TempDir())
+	writeJournal(t, s, testIdentity, 3, 3, true)
+
+	m, err := s.Load(testIdentity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || !m.Complete || m.Torn || m.Cursor() != 3 || m.Tasks != 3 || m.Cache != cacheVersion {
+		t.Fatalf("loaded manifest %+v", m)
+	}
+	for i, rec := range m.Records {
+		if rec != testRecord(i) {
+			t.Errorf("record %d = %+v, want %+v", i, rec, testRecord(i))
+		}
+	}
+
+	// A resumed restart keeps the first two records and appends a new
+	// third; the rewrite is total, so the done line is gone.
+	j, err := s.Start(testIdentity, 3, m.Records[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(2, testRecord(2).KeyHash, testRecord(2).Digest); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, err = s.Load(testIdentity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Complete || m.Cursor() != 3 {
+		t.Fatalf("restarted manifest %+v", m)
+	}
+
+	if m, err := s.Load(otherIdent); m != nil || err != nil {
+		t.Fatalf("absent manifest loaded as %+v, %v", m, err)
+	}
+}
+
+// TestJournalAppendContract pins the append-order and post-close
+// errors.
+func TestJournalAppendContract(t *testing.T) {
+	s := NewManifestStore(t.TempDir())
+	j, err := s.Start(testIdentity, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(1, testRecord(1).KeyHash, testRecord(1).Digest); err == nil {
+		t.Error("out-of-order append accepted")
+	}
+	if err := j.Append(0, testRecord(0).KeyHash, testRecord(0).Digest); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Finish(); err == nil {
+		t.Error("finish with missing records accepted")
+	}
+	if err := j.Append(1, testRecord(1).KeyHash, testRecord(1).Digest); err == nil {
+		t.Error("append after close accepted")
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+// TestGoldenManifestFormat pins the on-disk journal bytes — the format
+// is a compatibility surface (a new build must be able to resume a
+// journal an older run of the same version left behind), so any change
+// here must bump manifestVersion.
+func TestGoldenManifestFormat(t *testing.T) {
+	s := NewManifestStore(t.TempDir())
+
+	writeJournal(t, s, testIdentity, 4, 2, false)
+	b, err := os.ReadFile(s.path(testIdentity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("manifest", "journal_partial.manifest"), string(b))
+
+	writeJournal(t, s, testIdentity, 2, 2, true)
+	b, err = os.ReadFile(s.path(testIdentity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("manifest", "journal_complete.manifest"), string(b))
+}
+
+// TestManifestCorruptTail is the damage table: every way a crash or a
+// lost page can mangle the file, and the prefix the loader must
+// salvage from it.
+func TestManifestCorruptTail(t *testing.T) {
+	s := NewManifestStore(t.TempDir())
+	writeJournal(t, s, testIdentity, 3, 3, true)
+	intact, err := os.ReadFile(s.path(testIdentity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(intact), "\n") // header, 3 records, done, ""
+	prefix := func(n int) string { return strings.Join(lines[:n], "") }
+
+	cases := []struct {
+		name     string
+		data     string
+		cursor   int
+		complete bool
+		torn     bool
+	}{
+		{"intact", string(intact), 3, true, false},
+		{"missing done line", prefix(4), 3, false, false},
+		{"torn final record", prefix(3) + lines[3][:len(lines[3])/2], 2, false, true},
+		{"truncated mid-journal", prefix(2), 1, false, false},
+		{"flipped digest byte", prefix(3) + strings.Replace(lines[3], testRecord(2).Digest[:8], "deadbeef", 1) + lines[4], 2, false, true},
+		{"flipped crc byte", prefix(4) + strings.Replace(lines[4], "#", "#f", 1), 3, false, true},
+		{"garbage tail", prefix(4) + "not a sealed line\n", 3, false, true},
+		{"garbage then done", prefix(2) + "junk\n" + lines[4], 1, false, true},
+		{"record index gap", prefix(2) + lines[3] + lines[4], 1, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := parseManifest(testIdentity, []byte(tc.data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Cursor() != tc.cursor || m.Complete != tc.complete || m.Torn != tc.torn {
+				t.Errorf("cursor=%d complete=%t torn=%t, want %d/%t/%t",
+					m.Cursor(), m.Complete, m.Torn, tc.cursor, tc.complete, tc.torn)
+			}
+		})
+	}
+}
+
+// TestManifestHeaderErrors is the error-path table for unusable
+// journals: these must fail Load outright (the runner then starts a
+// fresh manifest) rather than salvage a prefix.
+func TestManifestHeaderErrors(t *testing.T) {
+	goodHeader := fmt.Sprintf("vmdg-manifest v%d id=%s tasks=3 cache=%s", manifestVersion, testIdentity, cacheVersion)
+	cases := []struct {
+		name    string
+		data    string
+		wantVer bool // errors.Is(err, ErrManifestVersion)
+	}{
+		{"empty file", "", false},
+		{"torn header", sealLine(goodHeader)[:10], false},
+		{"wrong magic", sealLine("vmdg-something v1 id=x tasks=3 cache=v4"), false},
+		{"corrupt header crc", strings.Replace(sealLine(goodHeader), "#", "#0", 1), false},
+		{"future version", sealLine(strings.Replace(goodHeader, fmt.Sprintf("v%d", manifestVersion), fmt.Sprintf("v%d", manifestVersion+1), 1)), true},
+		{"identity mismatch", sealLine(fmt.Sprintf("vmdg-manifest v%d id=%s tasks=3 cache=%s", manifestVersion, otherIdent, cacheVersion)), false},
+		{"negative tasks", sealLine(fmt.Sprintf("vmdg-manifest v%d id=%s tasks=-1 cache=%s", manifestVersion, testIdentity, cacheVersion)), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := parseManifest(testIdentity, []byte(tc.data))
+			if err == nil {
+				t.Fatalf("parsed as %+v, want error", m)
+			}
+			if got := errors.Is(err, ErrManifestVersion); got != tc.wantVer {
+				t.Errorf("ErrManifestVersion=%t (%v), want %t", got, err, tc.wantVer)
+			}
+		})
+	}
+}
+
+// TestFileCachePruneReconcilesManifests covers the lifecycle contract:
+// evicting a payload truncates every journal cursor that vouched for
+// it, evicting all of a journal's payloads removes the journal, and
+// Clear leaves nothing behind. Stats counts both populations.
+func TestFileCachePruneReconcilesManifests(t *testing.T) {
+	fc, err := NewFileCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four payloads, one journal vouching for all four.
+	keys := make([]string, 4)
+	var recs []ManifestRecord
+	for i := range keys {
+		keys[i] = fmt.Sprintf("scope|cfg|shard=%d", i)
+		payload := []byte(fmt.Sprintf(`{"v":%d}`, i))
+		fc.Put(keys[i], payload)
+		recs = append(recs, ManifestRecord{Index: i, KeyHash: keyHash(keys[i]), Digest: payloadDigest(payload)})
+	}
+	j, err := fc.Manifests().Start(testIdentity, 4, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := fc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 4 || st.Manifests != 1 || st.Resumable != 0 || st.ManifestBytes == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// Evict payload 2 by hand (as an age/size prune would) and prune
+	// with inert caps: reconciliation must truncate the cursor to 2 —
+	// payloads 0 and 1 are still vouched for, 3 is stranded past the
+	// gap — and the complete journal becomes resumable.
+	if err := os.Remove(filepath.Join(fc.Dir(), keyHash(keys[2])+".json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fc.Prune(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := fc.Manifests().Load(testIdentity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || m.Cursor() != 2 || m.Complete {
+		t.Fatalf("after payload eviction: %+v", m)
+	}
+	if st, _ = fc.Stats(); st.Resumable != 1 {
+		t.Fatalf("truncated manifest not counted resumable: %+v", st)
+	}
+
+	// An age prune that evicts every payload must take the journal with
+	// it: nothing it vouches for survives.
+	time.Sleep(10 * time.Millisecond)
+	if _, _, err := fc.Prune(time.Nanosecond, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ = fc.Stats(); st.Entries != 0 || st.Manifests != 0 {
+		t.Fatalf("after full age prune: %+v", st)
+	}
+
+	// Clear removes journals alongside payloads.
+	fc.Put(keys[0], []byte(`{"v":0}`))
+	writeJournal(t, fc.Manifests(), otherIdent, 2, 0, false)
+	removed, _, err := fc.Clear()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Errorf("clear removed %d files, want 2 (payload + manifest)", removed)
+	}
+	if st, _ = fc.Stats(); st.Entries != 0 || st.Manifests != 0 {
+		t.Fatalf("after clear: %+v", st)
+	}
+}
+
+// TestManifestStoreList pins the listing the CLI's `cache show` prints:
+// sorted, with cursor/complete/torn state.
+func TestManifestStoreList(t *testing.T) {
+	s := NewManifestStore(t.TempDir())
+	if mis, err := s.List(); err != nil || len(mis) != 0 {
+		t.Fatalf("empty store listed %v, %v", mis, err)
+	}
+	writeJournal(t, s, otherIdent, 5, 2, false)
+	writeJournal(t, s, testIdentity, 3, 3, true)
+	mis, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mis) != 2 {
+		t.Fatalf("listed %d manifests, want 2", len(mis))
+	}
+	if mis[0].Identity != testIdentity || !mis[0].Complete || mis[0].Cursor != 3 || mis[0].Tasks != 3 {
+		t.Errorf("first listing %+v", mis[0])
+	}
+	if mis[1].Identity != otherIdent || mis[1].Complete || mis[1].Cursor != 2 || mis[1].Tasks != 5 {
+		t.Errorf("second listing %+v", mis[1])
+	}
+}

@@ -19,6 +19,11 @@ type Stats struct {
 	// were supplied without compute — from the cache, or from a
 	// shared-scope sibling computed in the same run.
 	Hits, Misses int
+	// Resumed counts the tasks a prior run's fold manifest vouched for:
+	// their cached payloads verified against the journaled digests, so
+	// the fold replays them without simulation. Zero when the run has
+	// no manifest store or no matching manifest.
+	Resumed int
 	// Elapsed is the wall-clock duration of the whole run.
 	Elapsed time.Duration
 }
@@ -59,6 +64,12 @@ type Runner struct {
 	Workers int
 	// Cache, if non-nil, supplies and stores shard payloads.
 	Cache Cache
+	// Manifests, if non-nil (and Cache is set), makes the fold durable:
+	// the run journals every folded task to a manifest keyed by the
+	// run's canonical task list, and a later identical run resumes at
+	// the first task the journal + cache can no longer vouch for,
+	// replaying the verified prefix from cache instead of simulating.
+	Manifests *ManifestStore
 	// OnEvent, if non-nil, observes the run's progress: exactly one
 	// shard event per task, then one merge event per experiment. It is
 	// always called from the collector goroutine (the caller's), in
@@ -195,6 +206,37 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 		}
 	}
 
+	// Durable fold: verify any prior manifest's record prefix against
+	// the cache (the resume point), then open the journal — atomically
+	// rewritten to exactly that verified prefix — for this run's
+	// appends. Tasks inside the prefix replay from cache; tasks past it
+	// run normally and are journaled as the fold absorbs them.
+	var (
+		journal  *Journal
+		jHashes  []string
+		resumed  int
+		jKept    []ManifestRecord
+		manifest = r.Manifests != nil && r.Cache != nil && len(tasks) > 0
+	)
+	if manifest {
+		jHashes = make([]string, len(tasks))
+		for i, t := range tasks {
+			jHashes[i] = keyHash(t.key)
+		}
+		id := manifestIdentity(jHashes)
+		if m, err := r.Manifests.Load(id); err == nil {
+			resumed = verifyResume(m, tasks, jHashes, r.Cache)
+			if m != nil {
+				jKept = m.Records[:resumed]
+			}
+		}
+		var err error
+		if journal, err = r.Manifests.Start(id, len(tasks), jKept); err != nil {
+			return nil, Stats{}, fmt.Errorf("engine: manifest: %w", err)
+		}
+		defer journal.Close()
+	}
+
 	var (
 		hits, misses atomic.Int64
 		failed       atomic.Bool
@@ -303,6 +345,17 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 			}
 			delete(pending, contig)
 			deliver(contig, tr.payload)
+			// Journal the fold's progress: one record per absorbed task,
+			// in fold order, after the fold holds it. Records inside the
+			// resumed prefix are already in the journal. An append
+			// failure aborts the run — a fold the journal cannot vouch
+			// for is exactly what the manifest exists to prevent — and
+			// the journal's intact prefix stays resumable.
+			if journal != nil && contig >= resumed && tr.payload != nil && !failed.Load() {
+				if err := journal.Append(contig, jHashes[contig], payloadDigest(tr.payload)); err != nil {
+					fail(contig, fmt.Errorf("engine: manifest journal: %w", err))
+				}
+			}
 			contig++
 			permits <- struct{}{}
 			if r.OnEvent != nil {
@@ -329,6 +382,7 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 		Shards:      nSlots,
 		Hits:        int(hits.Load()),
 		Misses:      int(misses.Load()),
+		Resumed:     resumed,
 	}
 	if failed.Load() {
 		stats.Elapsed = time.Since(start)
@@ -359,8 +413,38 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 			})
 		}
 	}
+	// Every task folded: seal the journal complete. Best-effort — the
+	// outcomes above are already correct, and an unsealed journal merely
+	// replays from cache on the next identical run.
+	if journal != nil {
+		journal.Finish()
+	}
 	stats.Elapsed = time.Since(start)
 	return outcomes, stats, nil
+}
+
+// verifyResume returns the length of the manifest prefix the cache can
+// still vouch for: records must be contiguous from zero, must name the
+// key hashes the current task list derives (same canonical order), and
+// must hash to payload bytes the cache holds. Everything past the first
+// failure — an evicted payload, a corrupted entry, a torn journal tail
+// — re-simulates.
+func verifyResume(m *Manifest, tasks []task, hashes []string, cache Cache) int {
+	if m == nil || m.Tasks != len(tasks) {
+		return 0
+	}
+	n := 0
+	for i, rec := range m.Records {
+		if i >= len(tasks) || rec.KeyHash != hashes[i] {
+			break
+		}
+		b, ok := cache.Get(tasks[i].key)
+		if !ok || payloadDigest(b) != rec.Digest {
+			break
+		}
+		n = i + 1
+	}
+	return n
 }
 
 // RunNames resolves names against the Default registry and runs them.
