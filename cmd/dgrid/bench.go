@@ -35,7 +35,9 @@ type benchResult struct {
 	Churn    bool     `json:"churn"`
 	Shards   int      `json:"shards"`
 
-	// Environment.
+	// Environment. Workers is the resolved pool size of the headline
+	// run (never the literal 0 of an unset -workers flag); GOMAXPROCS
+	// is read at measurement time.
 	GoVersion  string `json:"go_version"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	Workers    int    `json:"workers"`
@@ -51,12 +53,38 @@ type benchResult struct {
 	// Trajectory.
 	BaselineHostsPerSec float64 `json:"baseline_hosts_per_sec"`
 	SpeedupVsBaseline   float64 `json:"speedup_vs_baseline"`
+
+	// Sweep holds the -sweep mode's per-worker-count measurements.
+	Sweep []sweepPoint `json:"sweep,omitempty"`
+}
+
+// sweepPoint is one -sweep measurement: the same scenario run at one
+// worker count. PerCoreEfficiency is the speedup over the sweep's
+// single-worker point divided by the worker count — 1.0 means perfect
+// scaling, and on a single-core container every multi-worker point
+// honestly reports ~1/workers. RSSReset records whether the kernel
+// peak-RSS counter was reset before the run; when false the point's
+// PeakRSSBytes is a high-water mark over every run so far, not this
+// run alone.
+type sweepPoint struct {
+	Workers           int     `json:"workers"`
+	ElapsedSec        float64 `json:"elapsed_sec"`
+	HostsPerSec       float64 `json:"hosts_per_sec"`
+	PerCoreEfficiency float64 `json:"per_core_efficiency"`
+	PeakRSSBytes      int64   `json:"peak_rss_bytes"`
+	RSSReset          bool    `json:"rss_reset"`
 }
 
 // cmdBench runs the fleet pipeline end to end — shard simulation,
 // worker pool, streaming merge — with the cache disabled, and writes a
 // machine-readable benchmark artifact. The defaults are the
 // million-host acceptance scenario; CI runs a reduced -machines.
+//
+// Two extra modes ride on the same measurement loop: -sweep re-runs
+// the scenario at a list of worker counts and appends the per-count
+// points to the artifact, and -check measures a reduced fleet and
+// fails (non-zero exit) when its hosts/s regresses more than
+// -tolerance below the committed artifact's — the CI performance gate.
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("dgrid bench", flag.ExitOnError)
 	machines := fs.Int("machines", 1_000_000, "volunteer machines in the benchmark fleet")
@@ -64,18 +92,28 @@ func cmdBench(args []string) error {
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	env := fs.String("env", "", "single VM environment (default: the paper's four)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	quick := fs.Bool("quick", false, "trim calibration windows (integration tests)")
 	out := fs.String("out", "BENCH_fleet.json", "benchmark artifact path ('-' for stdout)")
+	sweep := fs.String("sweep", "", "comma-separated worker counts to sweep (e.g. 1,4,8)")
+	check := fs.Bool("check", false, "measure and fail on regression against -baseline instead of writing an artifact")
+	baselinePath := fs.String("baseline", "BENCH_fleet.json", "committed artifact -check compares against")
+	tolerance := fs.Float64("tolerance", 0.10, "fractional hosts/s regression -check tolerates")
+	checkMachines := fs.Int("check-machines", 100_000, "fleet size for the -check measurement")
+	slowdown := fs.Float64("slowdown", 1.0, "multiply measured elapsed time (gate tests only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %v (bench takes flags only)", fs.Args())
 	}
+	if *check {
+		*machines = *checkMachines
+	}
 	if err := validateFleetFlags(*machines, *minutes, 1, "fifo"); err != nil {
 		return err
 	}
 
-	scn := grid.Scenario{Machines: *machines, Minutes: *minutes}
+	scn := grid.Scenario{Machines: *machines, Minutes: *minutes, Quick: *quick}
 	if *env != "" {
 		scn.Envs = []string{*env}
 	}
@@ -83,27 +121,17 @@ func cmdBench(args []string) error {
 	if err := scn.Validate(); err != nil {
 		return err
 	}
+	cfg := core.Config{Seed: *seed, Quick: *quick}
 
-	// No cache: the benchmark must measure compute, not replay. The
-	// calibration micro-sims stay inside the measured window — the
-	// pre-refactor baseline paid for them too, so the speedup compares
-	// like with like.
-	runner := &engine.Runner{Workers: *workers}
-	runner.OnEvent = progressLine("bench")
-	cfg := core.Config{Seed: *seed}
-	exp := engine.FleetScenario("fleet", "benchmark fleet scenario", scn)
+	if *check {
+		return benchCheck(scn, cfg, *workers, *baselinePath, *tolerance, *slowdown)
+	}
 
-	start := time.Now()
-	outcomes, stats, err := runner.Run(cfg, []engine.Experiment{exp})
+	m, err := benchMeasure(scn, cfg, *workers)
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
-
-	fired, err := eventsFired(outcomes[0].Raw)
-	if err != nil {
-		return err
-	}
+	elapsed := m.elapsed.Seconds() * *slowdown
 	res := benchResult{
 		Machines: scn.Machines,
 		Minutes:  scn.Minutes,
@@ -111,22 +139,33 @@ func cmdBench(args []string) error {
 		Envs:     scn.Envs,
 		Policy:   scn.Policy,
 		Churn:    scn.Churn,
-		Shards:   stats.Shards,
+		Shards:   m.shards,
 
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workers:    *workers,
+		Workers:    m.workers,
 
-		ElapsedSec:     elapsed.Seconds(),
-		HostsPerSec:    float64(scn.Machines) / elapsed.Seconds(),
-		HostEnvsPerSec: float64(scn.Machines*len(scn.Envs)) / elapsed.Seconds(),
-		EventsFired:    fired,
-		EventsPerSec:   float64(fired) / elapsed.Seconds(),
-		PeakRSSBytes:   peakRSS(),
+		ElapsedSec:     elapsed,
+		HostsPerSec:    float64(scn.Machines) / elapsed,
+		HostEnvsPerSec: float64(scn.Machines*len(scn.Envs)) / elapsed,
+		EventsFired:    m.fired,
+		EventsPerSec:   float64(m.fired) / elapsed,
+		PeakRSSBytes:   m.rss,
 
 		BaselineHostsPerSec: preRefactorHostsPerSec,
 	}
 	res.SpeedupVsBaseline = res.HostsPerSec / res.BaselineHostsPerSec
+
+	if *sweep != "" {
+		counts, err := parseSweepCounts(*sweep)
+		if err != nil {
+			return err
+		}
+		res.Sweep, err = benchSweep(scn, cfg, counts)
+		if err != nil {
+			return err
+		}
+	}
 
 	b, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -139,10 +178,158 @@ func cmdBench(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr,
-		"dgrid: bench %d hosts × %d min in %.2fs — %.0f hosts/s (%.1f× baseline), %d events, peak RSS %.0f MiB\n",
+		"dgrid: bench %d hosts × %d min in %.2fs — %.0f hosts/s (%.1f× baseline), %d workers, %d events, peak RSS %.0f MiB\n",
 		scn.Machines, scn.Minutes, res.ElapsedSec, res.HostsPerSec, res.SpeedupVsBaseline,
-		res.EventsFired, float64(res.PeakRSSBytes)/(1<<20))
+		res.Workers, res.EventsFired, float64(res.PeakRSSBytes)/(1<<20))
 	return nil
+}
+
+// measurement is one timed fleet run.
+type measurement struct {
+	workers  int // resolved pool size
+	elapsed  time.Duration
+	fired    uint64
+	shards   int
+	rss      int64
+	rssReset bool
+}
+
+// benchMeasure runs the scenario once at the given worker count with
+// the cache disabled — the benchmark must measure compute, not replay.
+// The calibration micro-sims stay inside the measured window; the
+// pre-refactor baseline paid for them too, so speedups compare like
+// with like.
+func benchMeasure(scn grid.Scenario, cfg core.Config, workers int) (*measurement, error) {
+	reset := resetPeakRSS()
+	runner := &engine.Runner{Workers: workers}
+	runner.OnEvent = progressLine("bench")
+	exp := engine.FleetScenario("fleet", "benchmark fleet scenario", scn)
+
+	start := time.Now()
+	outcomes, stats, err := runner.Run(cfg, []engine.Experiment{exp})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	fired, err := eventsFired(outcomes[0].Raw)
+	if err != nil {
+		return nil, err
+	}
+	return &measurement{
+		workers:  runner.ResolvedWorkers(),
+		elapsed:  elapsed,
+		fired:    fired,
+		shards:   stats.Shards,
+		rss:      peakRSS(),
+		rssReset: reset,
+	}, nil
+}
+
+// benchSweep measures the scenario once per worker count and derives
+// per-core efficiency against the sweep's own single-worker point (or,
+// when 1 is not in the list, its first point normalized per worker).
+func benchSweep(scn grid.Scenario, cfg core.Config, counts []int) ([]sweepPoint, error) {
+	points := make([]sweepPoint, 0, len(counts))
+	for _, w := range counts {
+		m, err := benchMeasure(scn, cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		hps := float64(scn.Machines) / m.elapsed.Seconds()
+		points = append(points, sweepPoint{
+			Workers:      m.workers,
+			ElapsedSec:   m.elapsed.Seconds(),
+			HostsPerSec:  hps,
+			PeakRSSBytes: m.rss,
+			RSSReset:     m.rssReset,
+		})
+		fmt.Fprintf(os.Stderr, "dgrid: bench sweep workers=%d: %.2fs, %.0f hosts/s\n",
+			m.workers, m.elapsed.Seconds(), hps)
+	}
+	// The reference point for efficiency: workers=1 if swept, else the
+	// first point's per-worker throughput.
+	ref := points[0].HostsPerSec / float64(points[0].Workers)
+	for _, p := range points {
+		if p.Workers == 1 {
+			ref = p.HostsPerSec
+			break
+		}
+	}
+	for i := range points {
+		points[i].PerCoreEfficiency = points[i].HostsPerSec / float64(points[i].Workers) / ref
+	}
+	return points, nil
+}
+
+// benchCheck is the CI regression gate: measure a reduced fleet and
+// compare its hosts/s against the committed artifact's headline
+// number. hosts/s is per-host work and thus comparable across fleet
+// sizes; the tolerance absorbs machine-to-machine noise.
+func benchCheck(scn grid.Scenario, cfg core.Config, workers int, baselinePath string, tolerance, slowdown float64) error {
+	base, err := readBenchBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	// Warm the per-process calibration memo outside the measured
+	// window: the committed baseline amortizes the fixed calibration
+	// cost over a million hosts, while a reduced check fleet would pay
+	// it across a few seconds and read as a false regression.
+	warm := scn
+	warm.Machines = grid.ShardSize
+	if _, err := benchMeasure(warm.Normalize(), cfg, workers); err != nil {
+		return err
+	}
+	m, err := benchMeasure(scn, cfg, workers)
+	if err != nil {
+		return err
+	}
+	hps := float64(scn.Machines) / (m.elapsed.Seconds() * slowdown)
+	fmt.Fprintf(os.Stderr,
+		"dgrid: bench check %d hosts × %d min at %d workers: %.0f hosts/s vs committed %.0f (tolerance %.0f%%)\n",
+		scn.Machines, scn.Minutes, m.workers, hps, base.HostsPerSec, tolerance*100)
+	return benchGate(base.HostsPerSec, hps, tolerance)
+}
+
+// benchGate returns the gate verdict: an error iff measured hosts/s is
+// more than tolerance below baseline. A regression of exactly the
+// tolerance passes.
+func benchGate(baseline, measured, tolerance float64) error {
+	if baseline <= 0 {
+		return fmt.Errorf("bench: baseline artifact has no positive hosts_per_sec to gate against")
+	}
+	floor := baseline * (1 - tolerance)
+	if measured < floor {
+		return fmt.Errorf("bench: regression: %.0f hosts/s is %.1f%% below the committed %.0f (floor %.0f at %.0f%% tolerance)",
+			measured, (1-measured/baseline)*100, baseline, floor, tolerance*100)
+	}
+	return nil
+}
+
+// readBenchBaseline loads the committed artifact -check gates against.
+func readBenchBaseline(path string) (*benchResult, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: baseline: %w", err)
+	}
+	var res benchResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		return nil, fmt.Errorf("bench: baseline %s: %w", path, err)
+	}
+	return &res, nil
+}
+
+// parseSweepCounts parses the -sweep list ("1,4,8") into worker
+// counts.
+func parseSweepCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bench: -sweep %q: worker counts must be positive integers", s)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }
 
 // eventsFired sums the determinism probe over every environment of the
@@ -189,4 +376,14 @@ func peakRSS() int64 {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	return int64(ms.Sys)
+}
+
+// resetPeakRSS asks the kernel to reset the process's peak-RSS
+// counter (writing "5" to clear_refs), so each sweep point's VmHWM
+// reflects that run rather than the highest-water run before it. It
+// reports success; the write needs a Linux kernel with
+// CONFIG_PROC_PAGE_MONITOR and may be refused in locked-down
+// sandboxes, in which case points carry a cumulative high-water mark.
+func resetPeakRSS() bool {
+	return os.WriteFile("/proc/self/clear_refs", []byte("5"), 0) == nil
 }

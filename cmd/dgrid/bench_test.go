@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchGateMath pins the gate's boundary arithmetic: a regression
+// of exactly the tolerance passes, anything beyond fails, and a
+// baseline without a positive hosts/s cannot vouch for anything.
+func TestBenchGateMath(t *testing.T) {
+	if err := benchGate(1000, 1000, 0.10); err != nil {
+		t.Errorf("equal throughput failed the gate: %v", err)
+	}
+	if err := benchGate(1000, 900, 0.10); err != nil {
+		t.Errorf("regression of exactly the tolerance failed the gate: %v", err)
+	}
+	if err := benchGate(1000, 899, 0.10); err == nil {
+		t.Error("10.1% regression passed a 10% gate")
+	}
+	if err := benchGate(1000, 1500, 0.10); err != nil {
+		t.Errorf("speedup failed the gate: %v", err)
+	}
+	if err := benchGate(0, 1000, 0.10); err == nil {
+		t.Error("zero baseline accepted")
+	}
+}
+
+func TestParseSweepCounts(t *testing.T) {
+	counts, err := parseSweepCounts("1, 4,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 3 || counts[0] != 1 || counts[1] != 4 || counts[2] != 8 {
+		t.Fatalf("parseSweepCounts = %v, want [1 4 8]", counts)
+	}
+	for _, bad := range []string{"", "0", "-1", "two", "1,,2"} {
+		if _, err := parseSweepCounts(bad); err == nil {
+			t.Errorf("parseSweepCounts(%q) accepted", bad)
+		}
+	}
+}
+
+// TestBenchSweepArtifactAndCheckGate runs the bench command end to end
+// on a small quick fleet: the artifact must record the resolved worker
+// count (never the unset flag's 0) and the sweep points, a -check run
+// against that artifact must pass with a generous tolerance, and a
+// -check run with a deliberately injected 2.5× slowdown must fail a
+// 10% gate — the acceptance criterion for the CI regression gate.
+func TestBenchSweepArtifactAndCheckGate(t *testing.T) {
+	dir := t.TempDir()
+	artifact := filepath.Join(dir, "BENCH_fleet.json")
+	base := []string{
+		"-quick", "-machines", "6000", "-minutes", "60", "-env", "vmplayer", "-seed", "1",
+	}
+
+	// Warm the in-process calibration cache before the baseline
+	// measurement: the first fleet run of a process pays the
+	// calibration micro-sims, and a baseline measured cold would let a
+	// deliberately slowed warm run pass the gate.
+	if err := cmdBench(append(base, "-out", filepath.Join(dir, "warmup.json"))); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := cmdBench(append(base, "-sweep", "1,2", "-out", artifact)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res benchResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers <= 0 {
+		t.Errorf("artifact records workers=%d; the resolved pool size must be positive", res.Workers)
+	}
+	if res.GOMAXPROCS <= 0 {
+		t.Errorf("artifact records gomaxprocs=%d", res.GOMAXPROCS)
+	}
+	if res.Machines != 6000 || res.HostsPerSec <= 0 || res.EventsFired == 0 {
+		t.Errorf("implausible headline measurement: %+v", res)
+	}
+	if len(res.Sweep) != 2 {
+		t.Fatalf("sweep recorded %d points, want 2", len(res.Sweep))
+	}
+	for i, want := range []int{1, 2} {
+		p := res.Sweep[i]
+		if p.Workers != want {
+			t.Errorf("sweep point %d: workers=%d, want %d", i, p.Workers, want)
+		}
+		if p.HostsPerSec <= 0 || p.ElapsedSec <= 0 || p.PerCoreEfficiency <= 0 {
+			t.Errorf("sweep point %d implausible: %+v", i, p)
+		}
+	}
+	if res.Sweep[0].PerCoreEfficiency != 1.0 {
+		t.Errorf("single-worker sweep point is its own reference; efficiency = %v, want 1",
+			res.Sweep[0].PerCoreEfficiency)
+	}
+
+	// The gate against our own just-measured artifact passes with a
+	// tolerance wide enough to swallow quick-run timing noise.
+	checkArgs := append(base, "-check", "-check-machines", "6000",
+		"-baseline", artifact, "-tolerance", "0.9")
+	if err := cmdBench(checkArgs); err != nil {
+		t.Fatalf("check against own artifact failed: %v", err)
+	}
+
+	// An injected 4× slowdown is a 75% hosts/s regression: even with
+	// timing noise it must trip a 10% gate.
+	slowArgs := append(base, "-check", "-check-machines", "6000",
+		"-baseline", artifact, "-tolerance", "0.10", "-slowdown", "4")
+	if err := cmdBench(slowArgs); err == nil {
+		t.Fatal("4× slowdown passed the 10% regression gate")
+	}
+}

@@ -28,7 +28,12 @@ import (
 // fields and scenario scopes grew the migration and bandwidth axes, so
 // a v3 entry could satisfy a v4 key for a scenario that now means
 // something different (and vice versa).
-const cacheVersion = "v4"
+//
+// v5: grouped burst settling — the latency histogram is settled by one
+// multinomial chain per class on a shard-level stream instead of one
+// per host, so Latency.Counts in cached EnvStats payloads are drawn
+// differently than v4 entries (same distribution, different bytes).
+const cacheVersion = "v5"
 
 // buildFingerprint identifies the binary that produced a shard payload,
 // so entries written by one build never serve another: any change to

@@ -134,17 +134,54 @@ type taskResult struct {
 	cached  bool
 }
 
+// span is one contiguous run of task indices handed to a worker. The
+// feeder dispatches spans rather than single tasks so each worker
+// settles a run of adjacent shards — adjacent tasks are slices of the
+// same scenario — on one warm per-worker arena, and the collector's
+// pending buffer fills in contiguous stretches instead of a scatter.
+// On a multi-socket host this is also what keeps a shard range's slab
+// memory on the NUMA node of the worker that first touched it.
+type span struct{ lo, hi int }
+
+// spanChunk sizes the contiguous spans: long enough that a worker
+// amortizes its arena warm-up over several shards, short enough that
+// every worker gets multiple spans (load balance) even on short runs.
+func spanChunk(tasks, workers int) int {
+	c := tasks / (4 * workers)
+	if c < 1 {
+		c = 1
+	}
+	if c > 8 {
+		c = 8
+	}
+	return c
+}
+
 // reorderWindow bounds how far task dispatch may run ahead of the
 // in-order fold: the collector holds at most this many out-of-order
 // payloads, so memory stays constant no matter how many shards a run
-// has. The window leaves every worker several tasks of slack so a slow
-// shard does not idle the pool.
-func reorderWindow(workers int) int {
+// has. The window leaves every worker a couple of full spans of slack
+// so a slow shard does not idle the pool.
+func reorderWindow(workers, chunk int) int {
 	w := 4 * workers
+	if m := 2 * chunk * workers; m > w {
+		w = m
+	}
 	if w < 16 {
 		w = 16
 	}
 	return w
+}
+
+// ResolvedWorkers reports the pool size a Run call will actually use:
+// Workers when positive, otherwise GOMAXPROCS at call time. The bench
+// harness records it so benchmark artifacts carry the real worker
+// count rather than the unresolved zero.
+func (r *Runner) ResolvedWorkers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Run executes every shard of every experiment on the pool and merges
@@ -162,10 +199,7 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 	start := time.Now()
 	cfg = normalize(cfg)
 
-	workers := r.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := r.ResolvedWorkers()
 
 	var (
 		tasks  []task
@@ -255,21 +289,33 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 		}
 	}
 
-	window := reorderWindow(workers)
+	chunk := spanChunk(len(tasks), workers)
+	window := reorderWindow(workers, chunk)
 	permits := make(chan struct{}, window)
 	for i := 0; i < window; i++ {
 		permits <- struct{}{}
 	}
-	ch := make(chan int)
+	ch := make(chan span)
 	results := make(chan taskResult, window)
 
-	// Feeder: dispatches tasks in index order, never more than window
-	// tasks ahead of the in-order fold (the collector returns a permit
-	// per folded task). That cap is what bounds the reorder buffer.
+	// Feeder: dispatches contiguous spans of the task list in index
+	// order, acquiring one permit per task before a span goes out, so
+	// dispatch never runs more than window tasks ahead of the in-order
+	// fold (the collector returns a permit per folded task). That cap is
+	// what bounds the reorder buffer. Span dispatch is the locality
+	// schedule: a worker owns a contiguous shard range at a time, so its
+	// recycled arena stays warm on one scenario and its results land
+	// next to each other in the fold.
 	go func() {
-		for ti := range tasks {
-			<-permits
-			ch <- ti
+		for lo := 0; lo < len(tasks); lo += chunk {
+			hi := lo + chunk
+			if hi > len(tasks) {
+				hi = len(tasks)
+			}
+			for i := lo; i < hi; i++ {
+				<-permits
+			}
+			ch <- span{lo, hi}
 		}
 		close(ch)
 	}()
@@ -279,38 +325,40 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for ti := range ch {
-				if failed.Load() {
-					results <- taskResult{ti: ti}
-					continue
-				}
-				t := tasks[ti]
-				// Any destination computes the same payload; run the
-				// first and let the collector fan the bytes out.
-				first := t.dests[0]
-				e := exps[first.exp]
-				if r.Cache != nil {
-					if b, ok := r.Cache.Get(t.key); ok {
-						hits.Add(int64(len(t.dests)))
-						results <- taskResult{ti: ti, payload: b, cached: true}
+			for sp := range ch {
+				for ti := sp.lo; ti < sp.hi; ti++ {
+					if failed.Load() {
+						results <- taskResult{ti: ti}
 						continue
 					}
+					t := tasks[ti]
+					// Any destination computes the same payload; run the
+					// first and let the collector fan the bytes out.
+					first := t.dests[0]
+					e := exps[first.exp]
+					if r.Cache != nil {
+						if b, ok := r.Cache.Get(t.key); ok {
+							hits.Add(int64(len(t.dests)))
+							results <- taskResult{ti: ti, payload: b, cached: true}
+							continue
+						}
+					}
+					b, err := e.RunShard(cfg, first.shard)
+					if err != nil {
+						fail(ti, fmt.Errorf("engine: %s shard %d: %w", e.Name(), first.shard, err))
+						results <- taskResult{ti: ti}
+						continue
+					}
+					misses.Add(1)
+					// The extra destinations were supplied without compute:
+					// count them as hits so hits+misses always equals the
+					// slot total.
+					hits.Add(int64(len(t.dests) - 1))
+					if r.Cache != nil {
+						r.Cache.Put(t.key, b)
+					}
+					results <- taskResult{ti: ti, payload: b}
 				}
-				b, err := e.RunShard(cfg, first.shard)
-				if err != nil {
-					fail(ti, fmt.Errorf("engine: %s shard %d: %w", e.Name(), first.shard, err))
-					results <- taskResult{ti: ti}
-					continue
-				}
-				misses.Add(1)
-				// The extra destinations were supplied without compute:
-				// count them as hits so hits+misses always equals the
-				// slot total.
-				hits.Add(int64(len(t.dests) - 1))
-				if r.Cache != nil {
-					r.Cache.Put(t.key, b)
-				}
-				results <- taskResult{ti: ti, payload: b}
 			}
 		}()
 	}

@@ -151,13 +151,30 @@ func TestEventsReportCacheHits(t *testing.T) {
 	}
 }
 
-// TestReorderWindowBounds sanity-checks the dispatch window floor.
+// TestReorderWindowBounds sanity-checks the dispatch window floor and
+// its growth with the span chunk: the window must always cover two
+// full spans per worker, or the feeder would stall the pool waiting on
+// permits the collector cannot return.
 func TestReorderWindowBounds(t *testing.T) {
-	if w := reorderWindow(1); w != 16 {
-		t.Errorf("reorderWindow(1) = %d, want the floor 16", w)
+	if w := reorderWindow(1, 1); w != 16 {
+		t.Errorf("reorderWindow(1, 1) = %d, want the floor 16", w)
 	}
-	if w := reorderWindow(8); w != 32 {
-		t.Errorf("reorderWindow(8) = %d, want 32", w)
+	if w := reorderWindow(8, 1); w != 32 {
+		t.Errorf("reorderWindow(8, 1) = %d, want 32", w)
+	}
+	if w := reorderWindow(8, 8); w != 128 {
+		t.Errorf("reorderWindow(8, 8) = %d, want 2 spans per worker = 128", w)
+	}
+	for workers := 1; workers <= 16; workers++ {
+		for tasks := 1; tasks <= 600; tasks += 7 {
+			chunk := spanChunk(tasks, workers)
+			if chunk < 1 || chunk > 8 {
+				t.Fatalf("spanChunk(%d, %d) = %d outside [1, 8]", tasks, workers, chunk)
+			}
+			if w := reorderWindow(workers, chunk); w < 2*chunk*workers {
+				t.Fatalf("reorderWindow(%d, %d) = %d below two spans per worker", workers, chunk, w)
+			}
+		}
 	}
 }
 

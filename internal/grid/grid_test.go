@@ -237,23 +237,37 @@ func TestChurnEnvironmentIndependent(t *testing.T) {
 	}
 }
 
+// testSlab builds a hand-wired slab of n hosts on env starting at
+// global index lo: one class (pinned to 1 chunk/s in both owner states
+// so flips cannot perturb progress arithmetic), migration state
+// allocated, fixed per-host RNG seeds.
+func testSlab(env *envShard, lo, n int, class Class) *hostSlab {
+	sl := &hostSlab{}
+	sl.reset(env, lo, n, []Class{class}, true)
+	sl.cals[0] = &Calibration{ActiveChunksPerSec: 1, IdleChunksPerSec: 1, BurstMs: []float64{1}}
+	for i := 0; i < n; i++ {
+		sl.ownerRNG[i] = *sim.NewRNG(1)
+		sl.envRNG[i] = *sim.NewRNG(2)
+	}
+	return sl
+}
+
 func TestHostCheckpointRoundTrip(t *testing.T) {
 	env := &envShard{prof: profByName(t, "vmplayer")}
-	h := &host{
-		env: env, id: "h000042", hasWork: true,
-		wu:       boinc.WorkUnit{ID: "t-wu-000001", Seed: 9, Chunks: 1000, CheckpointEvery: 128},
-		progress: 700.5,
-	}
-	h.ckpt = h.encodeCheckpoint(5 * sim.Second)
-	h.wu, h.progress, h.hasWork = boinc.WorkUnit{}, 0, false
-	if err := h.restoreCheckpoint(); err != nil {
+	sl := testSlab(env, 42, 1, Classes()[0])
+	sl.hasWork[0] = true
+	sl.wu[0] = boinc.WorkUnit{ID: "t-wu-000001", Seed: 9, Chunks: 1000, CheckpointEvery: 128}
+	sl.progress[0] = 700.5
+	sl.ckpt[0] = sl.encodeCheckpoint(0, 5*sim.Second)
+	sl.wu[0], sl.progress[0], sl.hasWork[0] = boinc.WorkUnit{}, 0, false
+	if err := sl.restoreCheckpoint(0); err != nil {
 		t.Fatal(err)
 	}
-	if h.wu.ID != "t-wu-000001" || !h.hasWork {
-		t.Fatalf("restore lost the unit: %+v", h.wu)
+	if sl.wu[0].ID != "t-wu-000001" || !sl.hasWork[0] {
+		t.Fatalf("restore lost the unit: %+v", sl.wu[0])
 	}
-	if h.progress != 700 {
-		t.Fatalf("restored progress %v, want 700 (int chunks)", h.progress)
+	if sl.progress[0] != 700 {
+		t.Fatalf("restored progress %v, want 700 (int chunks)", sl.progress[0])
 	}
 }
 
@@ -263,49 +277,46 @@ func TestEvictionRollsBackToCheckpoint(t *testing.T) {
 		scn: scn, prof: profByName(t, "vmplayer"), sim: sim.New(),
 		stats: &EnvStats{},
 	}
-	h := &host{
-		env: env, id: "h0", class: &Classes()[0],
-		cal:      &Calibration{ActiveChunksPerSec: 1, IdleChunksPerSec: 1, BurstMs: []float64{1}},
-		ownerRNG: *sim.NewRNG(1), envRNG: *sim.NewRNG(2),
-		on: true, hasWork: true,
-		wu:       boinc.WorkUnit{ID: "t-wu-000000", Seed: 1, Chunks: 1000, CheckpointEvery: 100},
-		progress: 351,
-		accrued:  10 * sim.Second, // progress already settled at the eviction instant
-	}
-	h.powerOff(10 * sim.Second)
-	if h.progress != 300 {
-		t.Fatalf("progress after eviction %v, want rollback to 300", h.progress)
+	sl := testSlab(env, 0, 1, Classes()[0])
+	sl.on[0], sl.hasWork[0] = true, true
+	sl.wu[0] = boinc.WorkUnit{ID: "t-wu-000000", Seed: 1, Chunks: 1000, CheckpointEvery: 100}
+	sl.progress[0] = 351
+	sl.accrued[0] = 10 * sim.Second // progress already settled at the eviction instant
+	sl.powerOff(0, 10*sim.Second)
+	if sl.progress[0] != 300 {
+		t.Fatalf("progress after eviction %v, want rollback to 300", sl.progress[0])
 	}
 	if env.stats.Evictions != 1 || env.stats.LostChunks != 51 {
 		t.Fatalf("eviction accounting wrong: %+v", env.stats)
 	}
-	if h.ckpt == nil {
+	if sl.ckpt[0] == nil {
 		t.Fatal("no checkpoint survived the eviction")
 	}
-	h.powerOn(20*sim.Second, true)
-	if env.stats.Restores != 1 || h.progress != 300 || h.wu.ID != "t-wu-000000" {
-		t.Fatalf("restart did not resume the checkpoint: progress=%v wu=%v", h.progress, h.wu.ID)
+	sl.powerOn(0, 20*sim.Second, true)
+	if env.stats.Restores != 1 || sl.progress[0] != 300 || sl.wu[0].ID != "t-wu-000000" {
+		t.Fatalf("restart did not resume the checkpoint: progress=%v wu=%v", sl.progress[0], sl.wu[0].ID)
 	}
 }
 
 func TestQuorumPolicyValidation(t *testing.T) {
 	scn := Scenario{Policy: "replication", Replication: 2, ChunksPerUnit: 800}.Normalize()
 	pol := newPolicy(scn, "t", 100)
-	wu := pol.Assign("faulty", 0)
+	const faulty, honest1, honest2 = 0, 1, 2
+	wu := pol.Assign(faulty, 0)
 	truth := resultFor(wu)
 
 	// The second replica of the same unit goes to an honest host.
-	if got := pol.Assign("honest-1", 0); got.ID != wu.ID {
+	if got := pol.Assign(honest1, 0); got.ID != wu.ID {
 		t.Fatalf("under-replicated unit not topped up: got %s, want %s", got.ID, wu.ID)
 	}
-	pol.Submit("faulty", wu, truth+1, sim.Second)
-	pol.Submit("honest-1", wu, truth, 2*sim.Second)
+	pol.Submit(faulty, wu, truth+1, sim.Second)
+	pol.Submit(honest1, wu, truth, 2*sim.Second)
 	// 1–1 split: the tie-breaker replica goes to a third host.
-	wu2 := pol.Assign("honest-2", 3*sim.Second)
+	wu2 := pol.Assign(honest2, 3*sim.Second)
 	if wu2.ID != wu.ID {
 		t.Fatalf("tie-breaker not reissued: got %s, want %s", wu2.ID, wu.ID)
 	}
-	pol.Submit("honest-2", wu, truth, 4*sim.Second)
+	pol.Submit(honest2, wu, truth, 4*sim.Second)
 
 	st := pol.Stats()
 	if st.Validated != 1 || st.Bad != 0 {
@@ -319,22 +330,23 @@ func TestQuorumPolicyValidation(t *testing.T) {
 func TestDeadlinePolicyReissuesOverdueUnits(t *testing.T) {
 	scn := Scenario{Policy: "deadline", DeadlineMin: 1, ChunksPerUnit: 800}.Normalize()
 	pol := newPolicy(scn, "t", 200)
-	wu := pol.Assign("gone-host", 0)
+	const goneHost, other, rescuer = 0, 1, 2
+	wu := pol.Assign(goneHost, 0)
 
 	// Before the deadline a second host gets fresh work. (Non-quorum
 	// units carry no ID string; the seed is their identity.)
-	early := pol.Assign("other", 30*sim.Second)
+	early := pol.Assign(other, 30*sim.Second)
 	if early.Seed == wu.Seed {
 		t.Fatal("unit reissued before its deadline")
 	}
 	// After the deadline the overdue unit is handed out again.
-	late := pol.Assign("rescuer", 2*60*sim.Second)
+	late := pol.Assign(rescuer, 2*60*sim.Second)
 	if late.Seed != wu.Seed {
 		t.Fatalf("overdue unit not reissued: got seed %d, want %d", late.Seed, wu.Seed)
 	}
-	pol.Submit("rescuer", wu, resultFor(wu), 3*60*sim.Second)
+	pol.Submit(rescuer, wu, resultFor(wu), 3*60*sim.Second)
 	// The original host finally returns: a duplicate, not a new unit.
-	pol.Submit("gone-host", wu, resultFor(wu), 4*60*sim.Second)
+	pol.Submit(goneHost, wu, resultFor(wu), 4*60*sim.Second)
 
 	st := pol.Stats()
 	if st.Validated != 1 || st.Duplicates != 1 {
@@ -348,12 +360,13 @@ func TestDeadlinePolicyReissuesOverdueUnits(t *testing.T) {
 func TestFifoLeavesChurnedUnitsOutstanding(t *testing.T) {
 	scn := Scenario{Policy: "fifo", ChunksPerUnit: 800}.Normalize()
 	pol := newPolicy(scn, "t", 300)
-	wu1 := pol.Assign("gone-host", 0)
-	wu2 := pol.Assign("worker", 0)
+	const goneHost, worker = 0, 1
+	wu1 := pol.Assign(goneHost, 0)
+	wu2 := pol.Assign(worker, 0)
 	if wu1.Seed == wu2.Seed {
 		t.Fatal("fifo reissued a unit")
 	}
-	pol.Submit("worker", wu2, resultFor(wu2), sim.Second)
+	pol.Submit(worker, wu2, resultFor(wu2), sim.Second)
 	st := pol.Stats()
 	if st.Validated != 1 || st.Outstanding != 1 {
 		t.Fatalf("fifo accounting wrong: %+v", st)

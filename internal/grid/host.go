@@ -4,109 +4,45 @@ import (
 	"fmt"
 
 	"vmdg/internal/boinc"
-	"vmdg/internal/netsim"
 	"vmdg/internal/sim"
 	"vmdg/internal/vmm"
 )
 
-// host is one coarse-grained volunteer machine inside a shard's event
-// loop: a state machine over (powered, owner-active) whose work-unit
-// progress accrues at the calibrated rate of its (class, environment)
-// pair.
+// This file is the per-host state machine of the fleet simulator: a
+// coarse-grained volunteer machine over (powered, owner-active) whose
+// work-unit progress accrues at the calibrated rate of its (class,
+// environment) pair.
 //
-// The struct is built for million-host fleets: the RNGs are embedded
-// values (no per-host heap cells), the calibration is a shared pointer,
-// and every event the host schedules goes through the simulator's
-// pooled, closure-free API — the timer "arms" below are pointer aliases
-// of host itself, so arming a timer allocates nothing.
-type host struct {
-	env *envShard
+// Hosts have no struct of their own — every method here is a hostSlab
+// method taking the host's slice-local index i (see slab.go for the
+// layout rationale). The bodies are otherwise the literal pre-slab host
+// methods: same draws from the same RNG streams in the same order, same
+// event schedule, so a shard's output is bit-identical to the old
+// array-of-structs loop.
 
-	id     string
-	class  *Class
-	cal    *Calibration
-	faulty bool
-
-	// ownerRNG drives churn and activity (environment-independent, so
-	// the same volunteer behaves identically under every environment);
-	// envRNG drives latency resampling and corrupted result values.
-	ownerRNG sim.RNG
-	envRNG   sim.RNG
-
-	on      bool
-	active  bool
-	hasWork bool
-
-	onStart sim.Time // when the current power session began
-
-	// Work in flight.
-	wu       boinc.WorkUnit
-	progress float64  // chunks done on wu
-	accrued  sim.Time // progress is exact as of this instant
-	ckpt     []byte   // encoded vmm.Checkpoint surviving power-off
-
-	phaseStart sim.Time // start of the current active/idle phase
-
-	// pendingBursts counts interactive bursts owed to the latency
-	// histogram: one per whole second of owner-active time, settled in
-	// aggregate by drainBursts instead of sampled per second.
-	pendingBursts int64
-
-	completion sim.Handle
-	flip       sim.Handle
-
-	// Checkpoint-migration state (see migrate.go; all inert when the
-	// scenario's migration policy is "none"). upBps/downBps are the
-	// host's access-link rates toward the server; at most one netsim
-	// transfer is in flight per host, tagged by xferKind.
-	upBps, downBps float64
-	xfer           *netsim.Transfer
-	xferKind       uint8
-	pendingMig     migUnit
-	synced         syncState
-	syncChunks     int
-	syncTimer      sim.Handle
-}
-
-// The timer arms give each of the host's event kinds a distinct
-// closure-free sim.Caller without any per-host timer objects: each arm
-// is a named alias of host, so (*completeArm)(h) is a free pointer
-// conversion and storing it in a Caller interface does not allocate.
-type (
-	completeArm host
-	flipArm     host
-	powerOnArm  host
-	powerOffArm host
-)
-
-func (a *completeArm) Fire(now sim.Time) { (*host)(a).complete(now) }
-func (a *flipArm) Fire(now sim.Time)     { (*host)(a).doFlip(now) }
-func (a *powerOnArm) Fire(now sim.Time)  { (*host)(a).powerOn(now, true) }
-func (a *powerOffArm) Fire(now sim.Time) { (*host)(a).powerOff(now) }
-
-// rate is the host's current science rate in chunks/second.
-func (h *host) rate() float64 {
-	if h.active {
-		return h.cal.ActiveChunksPerSec
+// rate is host i's current science rate in chunks/second.
+func (s *hostSlab) rate(i int32) float64 {
+	if s.active[i] {
+		return s.cal(i).ActiveChunksPerSec
 	}
-	return h.cal.IdleChunksPerSec
+	return s.cal(i).IdleChunksPerSec
 }
 
 // accrue brings progress up to now at the prevailing rate. Under a
 // time-free policy (env.batch) it also settles every unit completion
 // the window contains — see settle.
-func (h *host) accrue(now sim.Time) {
-	if h.env.batch {
-		h.settle(now)
+func (s *hostSlab) accrue(i int32, now sim.Time) {
+	if s.env.batch {
+		s.settle(i, now)
 		return
 	}
-	if h.on && h.hasWork {
-		h.progress += h.rate() * (now - h.accrued).Seconds()
-		if h.progress > float64(h.wu.Chunks) {
-			h.progress = float64(h.wu.Chunks)
+	if s.on[i] && s.hasWork[i] {
+		s.progress[i] += s.rate(i) * (now - s.accrued[i]).Seconds()
+		if s.progress[i] > float64(s.wu[i].Chunks) {
+			s.progress[i] = float64(s.wu[i].Chunks)
 		}
 	}
-	h.accrued = now
+	s.accrued[i] = now
 }
 
 // settle advances progress across [accrued, now] — a window of
@@ -119,63 +55,93 @@ func (h *host) accrue(now sim.Time) {
 // an always-on host costs ~60 completion events on the queue; settling
 // makes it a handful of arithmetic iterations inside events the host
 // fires anyway.
-func (h *host) settle(now sim.Time) {
-	if h.on && h.hasWork {
-		rate := h.rate()
+func (s *hostSlab) settle(i int32, now sim.Time) {
+	if s.on[i] && s.hasWork[i] {
+		rate := s.rate(i)
 		for {
-			remaining := float64(h.wu.Chunks) - h.progress
-			gain := rate * (now - h.accrued).Seconds()
+			remaining := float64(s.wu[i].Chunks) - s.progress[i]
+			gain := rate * (now - s.accrued[i]).Seconds()
 			if gain < remaining {
-				h.progress += gain
+				s.progress[i] += gain
 				break
 			}
-			at := h.accrued + sim.FromSeconds(remaining/rate)
+			at := s.accrued[i] + sim.FromSeconds(remaining/rate)
 			if at > now {
 				at = now // FromSeconds rounding must not move time forward
 			}
-			h.submit(at)
-			h.ckpt = nil
-			h.hasWork = false
-			h.requestWork(at) // resets progress and sets accrued = at
+			s.submit(i, at)
+			s.ckpt[i] = nil
+			s.hasWork[i] = false
+			s.requestWork(i, at) // resets progress and sets accrued = at
 		}
 	}
-	h.accrued = now
+	s.accrued[i] = now
 }
 
 // submit reports the current unit's result (corrupted when faulty).
-func (h *host) submit(now sim.Time) {
-	result := resultFor(h.wu)
-	if h.faulty {
-		result = int(h.envRNG.Uint64() % resultSpace)
-		if result == resultFor(h.wu) {
+func (s *hostSlab) submit(i int32, now sim.Time) {
+	result := resultFor(s.wu[i])
+	if s.faulty[i] {
+		result = int(s.envRNG[i].Uint64() % resultSpace)
+		if result == resultFor(s.wu[i]) {
 			result = (result + 1) % resultSpace
 		}
 	}
-	h.env.policy.Submit(h.id, h.wu, result, now)
+	s.env.policy.Submit(s.gid(i), s.wu[i], result, now)
 }
 
 // flushPhase closes the owner phase that ran since phaseStart: active
 // phases owe one interactive burst per whole second. The bursts are
 // only counted here; drainBursts settles them into the latency
 // histogram in aggregate.
-func (h *host) flushPhase(now sim.Time) {
-	if h.on && h.active {
-		dur := (now - h.phaseStart).Seconds()
-		h.env.stats.ActiveSeconds += dur
-		h.pendingBursts += int64(dur)
+func (s *hostSlab) flushPhase(i int32, now sim.Time) {
+	if s.on[i] && s.active[i] {
+		dur := (now - s.phaseStart[i]).Seconds()
+		s.env.stats.ActiveSeconds += dur
+		s.pendingBursts[i] += int64(dur)
 	}
-	h.phaseStart = now
+	s.phaseStart[i] = now
 }
 
-// drainBursts settles the accumulated burst count into the latency
-// histogram with one seeded multinomial over the calibration's binned
-// burst distribution. Because multinomials are additive in n, draining
-// once per host is distributed identically to sampling every burst the
-// moment its phase closed — at a cost independent of simulated time.
-func (h *host) drainBursts() {
-	if h.pendingBursts > 0 {
-		h.env.stats.Latency.AddMultinomial(&h.envRNG, h.cal.burstDist(), h.pendingBursts)
-		h.pendingBursts = 0
+// drainBursts settles host i's accumulated burst count into the
+// latency histogram with one seeded multinomial over the calibration's
+// binned burst distribution. Because multinomials are additive in n,
+// draining once per host is distributed identically to sampling every
+// burst the moment its phase closed — at a cost independent of
+// simulated time. This is the per-host reference path; shards normally
+// drain in class groups (drainBurstsGrouped).
+func (s *hostSlab) drainBursts(i int32) {
+	if s.pendingBursts[i] > 0 {
+		s.env.stats.Latency.AddMultinomial(&s.envRNG[i], s.cal(i).burstDist(), s.pendingBursts[i])
+		s.pendingBursts[i] = 0
+	}
+}
+
+// drainBurstsGrouped settles the whole shard's accumulated bursts with
+// one multinomial chain per class instead of one per host: every host
+// of a class draws from the same binned calibration distribution, and
+// multinomials are additive in n, so summing the class's pending counts
+// and settling them in one AddMultinomial call is distributed
+// identically to the per-host path — it just replaces ~ShardSize
+// binomial walks with one per class. The chain runs on its own stream
+// derived from (seed, env, slice), never a host RNG, so grouping cannot
+// perturb any other draw; classes settle in class-index order, keeping
+// the result a pure function of the shard. The per-host and grouped
+// paths produce different (equally valid) Latency.Counts bytes — the
+// equivalence is distributional, pinned by KS/percentile tests, with
+// the exact total burst count conserved.
+func (s *hostSlab) drainBurstsGrouped() {
+	totals := make([]int64, len(s.classes))
+	for i := int32(0); int(i) < s.n; i++ {
+		totals[s.classIdx[i]] += s.pendingBursts[i]
+		s.pendingBursts[i] = 0
+	}
+	rng := sim.RNG{}
+	rng.SetState(splitmix(envSeed(s.env.scn.Seed, s.env.prof.Name, -1-s.env.slice) ^ 0x6275727374)) // "burst"
+	for ci, n := range totals {
+		if n > 0 {
+			s.env.stats.Latency.AddMultinomial(&rng, s.cals[ci].burstDist(), n)
+		}
 	}
 }
 
@@ -183,54 +149,54 @@ func (h *host) drainBursts() {
 // current unit. Call after every rate or assignment change; the pending
 // event is moved in place when possible. Batch-settled hosts never arm
 // completion events.
-func (h *host) scheduleCompletion(now sim.Time) {
-	if h.env.batch {
+func (s *hostSlab) scheduleCompletion(i int32, now sim.Time) {
+	if s.env.batch {
 		return
 	}
-	if !h.on || !h.hasWork {
-		h.completion.Cancel()
-		h.completion = sim.Handle{}
+	if !s.on[i] || !s.hasWork[i] {
+		s.completion[i].Cancel()
+		s.completion[i] = sim.Handle{}
 		return
 	}
-	remaining := float64(h.wu.Chunks) - h.progress
+	remaining := float64(s.wu[i].Chunks) - s.progress[i]
 	if remaining < 0 {
 		remaining = 0
 	}
-	eta := now + sim.FromSeconds(remaining/h.rate())
-	if !h.env.sim.Reschedule(h.completion, eta) {
-		h.completion = h.env.sim.Schedule(eta, "complete", (*completeArm)(h))
+	eta := now + sim.FromSeconds(remaining/s.rate(i))
+	if !s.env.sim.Reschedule(s.completion[i], eta) {
+		s.completion[i] = s.env.sim.Schedule(eta, "complete", (*completeArm)(s.arm(i)))
 	}
 }
 
 // complete fires when the predicted completion instant arrives: the
 // host submits its result and requests the next unit.
-func (h *host) complete(now sim.Time) {
-	h.completion = sim.Handle{}
-	h.accrue(now)
-	h.submit(now)
-	h.ckpt = nil
-	h.hasWork = false
-	if h.env.mig != nil {
-		h.migUnitDone()
+func (s *hostSlab) complete(i int32, now sim.Time) {
+	s.completion[i] = sim.Handle{}
+	s.accrue(i, now)
+	s.submit(i, now)
+	s.ckpt[i] = nil
+	s.hasWork[i] = false
+	if s.env.mig != nil {
+		s.migUnitDone(i)
 	}
-	h.requestWork(now)
-	h.scheduleCompletion(now)
+	s.requestWork(i, now)
+	s.scheduleCompletion(i, now)
 }
 
 // requestWork asks the shard's server for work: the oldest checkpoint
 // awaiting migration if the server holds one (downloading it costs
 // modeled transfer time), a fresh unit otherwise.
-func (h *host) requestWork(now sim.Time) {
-	if m := h.env.mig; m != nil {
+func (s *hostSlab) requestWork(i int32, now sim.Time) {
+	if m := s.env.mig; m != nil {
 		if mu, ok := m.pop(); ok {
-			h.beginMigDownload(now, mu)
+			s.beginMigDownload(i, now, mu)
 			return
 		}
 	}
-	h.wu = h.env.policy.Assign(h.id, now)
-	h.hasWork = true
-	h.progress = 0
-	h.accrued = now
+	s.wu[i] = s.env.policy.Assign(s.gid(i), now)
+	s.hasWork[i] = true
+	s.progress[i] = 0
+	s.accrued[i] = now
 }
 
 // powerOn boots the machine: restore the held checkpoint or fetch
@@ -239,142 +205,143 @@ func (h *host) requestWork(now sim.Time) {
 // to switch the machine on (every mid-run power-on); the t=0 boot
 // passes a stationary draw instead, so short horizons do not measure a
 // synchronized everyone-active start transient.
-func (h *host) powerOn(now sim.Time, ownerPresent bool) {
-	h.on = true
-	h.onStart = now
-	h.accrued = now
-	if m := h.env.mig; m != nil {
-		h.migReturn(now, m)
+func (s *hostSlab) powerOn(i int32, now sim.Time, ownerPresent bool) {
+	s.on[i] = true
+	s.onStart[i] = now
+	s.accrued[i] = now
+	if m := s.env.mig; m != nil {
+		s.migReturn(i, now, m)
 	}
 	switch {
-	case h.ckpt != nil:
-		if err := h.restoreCheckpoint(); err != nil {
+	case s.ckpt[i] != nil:
+		if err := s.restoreCheckpoint(i); err != nil {
 			// A checkpoint this host encoded itself cannot fail to
 			// decode; treat corruption as a model bug.
-			panic(fmt.Sprintf("grid: %s: %v", h.id, err))
+			panic(fmt.Sprintf("grid: %s: %v", hostID(s.gid(i)), err))
 		}
-		h.env.stats.Restores++
-	case !h.hasWork:
-		h.requestWork(now)
+		s.env.stats.Restores++
+	case !s.hasWork[i]:
+		s.requestWork(i, now)
 	}
-	h.active = ownerPresent
-	h.phaseStart = now
-	h.scheduleFlip(now)
-	h.scheduleCompletion(now)
-	if h.env.scn.Churn {
-		h.env.sim.Schedule(now+h.exp(h.class.MeanOnMin), "power-off", (*powerOffArm)(h))
+	s.active[i] = ownerPresent
+	s.phaseStart[i] = now
+	s.scheduleFlip(i, now)
+	s.scheduleCompletion(i, now)
+	if s.env.scn.Churn {
+		s.env.sim.Schedule(now+s.exp(i, s.class(i).MeanOnMin), "power-off", (*powerOffArm)(s.arm(i)))
 	}
 }
 
 // stationaryActive draws the owner's long-run presence probability.
-func (h *host) stationaryActive() bool {
-	p := h.class.MeanActiveMin / (h.class.MeanActiveMin + h.class.MeanIdleMin)
-	return h.ownerRNG.Float64() < p
+func (s *hostSlab) stationaryActive(i int32) bool {
+	c := s.class(i)
+	p := c.MeanActiveMin / (c.MeanActiveMin + c.MeanIdleMin)
+	return s.ownerRNG[i].Float64() < p
 }
 
 // powerOff evicts the VM: progress since the worker's last periodic
 // checkpoint is lost, and the rest leaves the machine as an encoded
 // vmm.Checkpoint carrying the boinc progress file.
-func (h *host) powerOff(now sim.Time) {
-	h.accrue(now)
-	h.flushPhase(now)
-	h.env.stats.OnSeconds += (now - h.onStart).Seconds()
-	h.completion.Cancel()
-	h.completion = sim.Handle{}
-	h.flip.Cancel()
-	h.flip = sim.Handle{}
-	h.on = false
-	if h.hasWork && h.progress > 0 {
-		h.env.stats.Evictions++
-		every := h.wu.CheckpointEvery
+func (s *hostSlab) powerOff(i int32, now sim.Time) {
+	s.accrue(i, now)
+	s.flushPhase(i, now)
+	s.env.stats.OnSeconds += (now - s.onStart[i]).Seconds()
+	s.completion[i].Cancel()
+	s.completion[i] = sim.Handle{}
+	s.flip[i].Cancel()
+	s.flip[i] = sim.Handle{}
+	s.on[i] = false
+	if s.hasWork[i] && s.progress[i] > 0 {
+		s.env.stats.Evictions++
+		every := s.wu[i].CheckpointEvery
 		if every < 1 {
 			every = 1
 		}
-		kept := float64(int(h.progress)/every) * float64(every)
-		h.env.stats.LostChunks += int64(h.progress - kept)
-		h.progress = kept
+		kept := float64(int(s.progress[i])/every) * float64(every)
+		s.env.stats.LostChunks += int64(s.progress[i] - kept)
+		s.progress[i] = kept
 	}
-	if h.hasWork {
-		h.ckpt = h.encodeCheckpoint(now)
+	if s.hasWork[i] {
+		s.ckpt[i] = s.encodeCheckpoint(i, now)
 	}
-	if m := h.env.mig; m != nil {
-		h.migDepart(now, m)
+	if m := s.env.mig; m != nil {
+		s.migDepart(i, now, m)
 	}
-	h.env.sim.Schedule(now+h.exp(h.class.MeanOffMin), "power-on", (*powerOnArm)(h))
+	s.env.sim.Schedule(now+s.exp(i, s.class(i).MeanOffMin), "power-on", (*powerOnArm)(s.arm(i)))
 }
 
-// encodeCheckpoint captures the host's surviving state as a real VMM
+// encodeCheckpoint captures host i's surviving state as a real VMM
 // checkpoint whose payload is the BOINC progress file.
-func (h *host) encodeCheckpoint(now sim.Time) []byte {
+func (s *hostSlab) encodeCheckpoint(i int32, now sim.Time) []byte {
 	ck := &vmm.Checkpoint{
-		VMName:       h.id,
-		ProfileName:  h.env.prof.Name,
+		VMName:       hostID(s.gid(i)),
+		ProfileName:  s.prof().Name,
 		TakenAtHost:  now,
 		TakenAtGuest: now,
 		Payload: boinc.Progress{
-			WorkUnit:   h.wu,
-			ChunksDone: int(h.progress),
+			WorkUnit:   s.wu[i],
+			ChunksDone: int(s.progress[i]),
 		}.Marshal(),
 	}
 	b, err := ck.Encode()
 	if err != nil {
-		panic(fmt.Sprintf("grid: %s: encoding checkpoint: %v", h.id, err)) // plain data cannot fail
+		panic(fmt.Sprintf("grid: %s: encoding checkpoint: %v", hostID(s.gid(i)), err)) // plain data cannot fail
 	}
 	return b
 }
 
 // restoreCheckpoint resumes the unit carried by the held checkpoint.
-func (h *host) restoreCheckpoint() error {
-	ck, err := vmm.DecodeCheckpoint(h.ckpt)
+func (s *hostSlab) restoreCheckpoint(i int32) error {
+	ck, err := vmm.DecodeCheckpoint(s.ckpt[i])
 	if err != nil {
 		return err
 	}
-	if ck.ProfileName != h.env.prof.Name {
-		return fmt.Errorf("checkpoint from profile %s restored under %s", ck.ProfileName, h.env.prof.Name)
+	if ck.ProfileName != s.prof().Name {
+		return fmt.Errorf("checkpoint from profile %s restored under %s", ck.ProfileName, s.prof().Name)
 	}
 	prog, err := boinc.UnmarshalProgress(ck.Payload)
 	if err != nil {
 		return err
 	}
-	h.wu = prog.WorkUnit
-	h.progress = float64(prog.ChunksDone)
-	h.hasWork = true
-	h.ckpt = nil
+	s.wu[i] = prog.WorkUnit
+	s.progress[i] = float64(prog.ChunksDone)
+	s.hasWork[i] = true
+	s.ckpt[i] = nil
 	return nil
 }
 
 // scheduleFlip arms the next owner active/idle transition.
-func (h *host) scheduleFlip(now sim.Time) {
-	mean := h.class.MeanIdleMin
-	if h.active {
-		mean = h.class.MeanActiveMin
+func (s *hostSlab) scheduleFlip(i int32, now sim.Time) {
+	mean := s.class(i).MeanIdleMin
+	if s.active[i] {
+		mean = s.class(i).MeanActiveMin
 	}
-	h.flip = h.env.sim.Schedule(now+h.exp(mean), "owner-flip", (*flipArm)(h))
+	s.flip[i] = s.env.sim.Schedule(now+s.exp(i, mean), "owner-flip", (*flipArm)(s.arm(i)))
 }
 
 // doFlip toggles owner activity, which changes the science rate.
-func (h *host) doFlip(now sim.Time) {
-	h.flip = sim.Handle{}
-	h.accrue(now)
-	h.flushPhase(now)
-	h.active = !h.active
-	h.scheduleFlip(now)
-	h.scheduleCompletion(now)
+func (s *hostSlab) doFlip(i int32, now sim.Time) {
+	s.flip[i] = sim.Handle{}
+	s.accrue(i, now)
+	s.flushPhase(i, now)
+	s.active[i] = !s.active[i]
+	s.scheduleFlip(i, now)
+	s.scheduleCompletion(i, now)
 }
 
 // finalize settles accounting at the horizon: a still-powered host
-// closes its open phase and power session, and every host drains its
-// accumulated bursts into the latency histogram.
-func (h *host) finalize(now sim.Time) {
-	if h.on {
-		h.accrue(now)
-		h.flushPhase(now)
-		h.env.stats.OnSeconds += (now - h.onStart).Seconds()
+// closes its open phase and power session. Accumulated bursts are
+// drained afterwards, over all hosts at once (see drainBurstsGrouped).
+func (s *hostSlab) finalize(i int32, now sim.Time) {
+	if s.on[i] {
+		s.accrue(i, now)
+		s.flushPhase(i, now)
+		s.env.stats.OnSeconds += (now - s.onStart[i]).Seconds()
 	}
-	h.drainBursts()
 }
 
-// exp draws an exponential duration with the given mean in minutes.
-func (h *host) exp(meanMin float64) sim.Time {
-	return sim.FromSeconds(h.ownerRNG.Exp(meanMin * 60))
+// exp draws an exponential duration with the given mean in minutes
+// from host i's owner stream.
+func (s *hostSlab) exp(i int32, meanMin float64) sim.Time {
+	return sim.FromSeconds(s.ownerRNG[i].Exp(meanMin * 60))
 }

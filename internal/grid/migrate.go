@@ -17,6 +17,10 @@ import (
 // worker-count determinism contract — is untouched: a migration never
 // crosses a population slice, just as a real sharded project server
 // re-places work within the frontend that holds the checkpoint.
+//
+// Per-host migration state lives in the slab's cold migHost array
+// (slab.go); like host.go, every method here is a hostSlab method on
+// the host's slice-local index.
 
 // migSyncPeriod is the eager policy's sync cadence: how often a
 // running host pushes an incremental checkpoint to the server.
@@ -111,65 +115,67 @@ type syncState struct {
 	ok     bool
 }
 
-// The migration arms extend the host's closure-free event vocabulary
-// (see the timer arms in host.go) to netsim completion sinks.
+// The migration arms extend the slab's closure-free event vocabulary
+// (see armCell in slab.go) to netsim completion sinks.
 type (
-	departUpSink host
-	syncUpSink   host
-	migDownSink  host
-	syncTimerArm host
+	departUpSink armCell
+	syncUpSink   armCell
+	migDownSink  armCell
+	syncTimerArm armCell
 )
 
 func (a *departUpSink) TransferDone(now sim.Time, t *netsim.Transfer) {
-	(*host)(a).departUploadDone(now, t)
+	a.s.departUploadDone(a.i, now, t)
 }
 func (a *syncUpSink) TransferDone(now sim.Time, t *netsim.Transfer) {
-	(*host)(a).syncUploadDone(now, t)
+	a.s.syncUploadDone(a.i, now, t)
 }
 func (a *migDownSink) TransferDone(now sim.Time, t *netsim.Transfer) {
-	(*host)(a).migDownloadDone(now, t)
+	a.s.migDownloadDone(a.i, now, t)
 }
-func (a *syncTimerArm) Fire(now sim.Time) { (*host)(a).syncTick(now) }
+func (a *syncTimerArm) Fire(now sim.Time) { a.s.syncTick(a.i, now) }
 
-// cancelXfer abandons the host's in-flight transfer, crediting the
+// cancelXfer abandons host i's in-flight transfer, crediting the
 // bytes the fluid model already moved to the direction's counter —
 // the partial traffic occupied the shared frontend all the same.
-func (h *host) cancelXfer() {
-	t := h.xfer
+func (s *hostSlab) cancelXfer(i int32) {
+	ms := &s.mig[i]
+	t := ms.xfer
 	if t == nil {
 		return
 	}
-	h.env.mig.net.Cancel(t) // advances the fluid model to now first
+	s.env.mig.net.Cancel(t) // advances the fluid model to now first
 	moved := t.Bytes() - t.Remaining()
-	if h.xferKind == xferMigDownload {
-		h.env.stats.MigRxBytes += moved
+	if ms.xferKind == xferMigDownload {
+		s.env.stats.MigRxBytes += moved
 	} else {
-		h.env.stats.MigTxBytes += moved
+		s.env.stats.MigTxBytes += moved
 	}
-	h.xfer, h.xferKind = nil, xferNone
+	ms.xfer, ms.xferKind = nil, xferNone
 }
 
 // migDepart runs at power-off, after the eviction rollback has settled
-// h.progress and encoded h.ckpt: whatever transfer the session had in
-// flight dies with it, and the scenario's policy decides whether the
-// checkpoint leaves the machine.
-func (h *host) migDepart(now sim.Time, m *migrator) {
-	if h.xfer != nil {
-		wasDownload := h.xferKind == xferMigDownload
-		h.cancelXfer()
+// progress and encoded the checkpoint: whatever transfer the session
+// had in flight dies with it, and the scenario's policy decides whether
+// the checkpoint leaves the machine.
+func (s *hostSlab) migDepart(i int32, now sim.Time, m *migrator) {
+	ms := &s.mig[i]
+	if ms.xfer != nil {
+		wasDownload := ms.xferKind == xferMigDownload
+		s.cancelXfer(i)
 		if wasDownload {
 			// The half-downloaded checkpoint goes back to the head of
 			// the queue for the next volunteer.
-			m.requeueFront(h.pendingMig)
-			h.pendingMig = migUnit{}
+			m.requeueFront(ms.pendingMig)
+			ms.pendingMig = migUnit{}
 		}
 	}
-	h.syncTimer.Cancel()
-	h.syncTimer = sim.Handle{}
-	if !h.hasWork || h.ckpt == nil {
+	ms.syncTimer.Cancel()
+	ms.syncTimer = sim.Handle{}
+	if !s.hasWork[i] || s.ckpt[i] == nil {
 		return
 	}
-	kept := int(h.progress)
+	kept := int(s.progress[i])
 	switch {
 	case m.eager:
 		// The server migrates its own latest synced copy — available
@@ -178,21 +184,21 @@ func (h *host) migDepart(now sim.Time, m *migrator) {
 		// receiving host and accounted as lost chunks here. Without a
 		// synced copy for this unit the checkpoint stays local, as
 		// under "none".
-		if h.synced.ok && h.synced.seed == h.wu.Seed && h.synced.chunks > 0 {
-			carry := h.synced.chunks
+		if ms.synced.ok && ms.synced.seed == s.wu[i].Seed && ms.synced.chunks > 0 {
+			carry := ms.synced.chunks
 			if carry > kept {
 				carry = kept
 			}
-			h.env.stats.LostChunks += int64(kept - carry)
-			m.enqueue(migUnit{wu: h.wu, chunks: carry, bytes: migFullBytes(h.env.prof)})
-			h.clearWork()
+			s.env.stats.LostChunks += int64(kept - carry)
+			m.enqueue(migUnit{wu: s.wu[i], chunks: carry, bytes: migFullBytes(s.prof())})
+			s.clearWork(i)
 		}
 	case kept > 0:
 		// on-departure: the checkpoint must first travel up the
 		// host's own uplink; until the upload drains, the unit can
 		// still resume locally if the owner returns early.
-		h.xfer = m.net.Start(migFullBytes(h.env.prof), h.upBps, (*departUpSink)(h))
-		h.xferKind = xferDepartUpload
+		ms.xfer = m.net.Start(migFullBytes(s.prof()), ms.upBps, (*departUpSink)(s.arm(i)))
+		ms.xferKind = xferDepartUpload
 	}
 }
 
@@ -200,111 +206,118 @@ func (h *host) migDepart(now sim.Time, m *migrator) {
 // departure upload the owner outran is abandoned (the unit resumes
 // locally, exactly as under "none"), and eager hosts restart their
 // sync cadence.
-func (h *host) migReturn(now sim.Time, m *migrator) {
-	if h.xfer != nil && h.xferKind == xferDepartUpload {
-		h.cancelXfer()
+func (s *hostSlab) migReturn(i int32, now sim.Time, m *migrator) {
+	ms := &s.mig[i]
+	if ms.xfer != nil && ms.xferKind == xferDepartUpload {
+		s.cancelXfer(i)
 	}
 	if m.eager {
-		h.armSyncTimer(now)
+		s.armSyncTimer(i, now)
 	}
 }
 
 // departUploadDone fires when a departed host's checkpoint finishes
 // draining to the server: the unit now belongs to the server's queue,
 // and the local copy is gone for good.
-func (h *host) departUploadDone(now sim.Time, t *netsim.Transfer) {
-	h.xfer, h.xferKind = nil, xferNone
-	h.env.stats.MigTxBytes += t.Bytes()
-	h.env.mig.enqueue(migUnit{wu: h.wu, chunks: int(h.progress), bytes: migFullBytes(h.env.prof)})
-	h.clearWork()
+func (s *hostSlab) departUploadDone(i int32, now sim.Time, t *netsim.Transfer) {
+	ms := &s.mig[i]
+	ms.xfer, ms.xferKind = nil, xferNone
+	s.env.stats.MigTxBytes += t.Bytes()
+	s.env.mig.enqueue(migUnit{wu: s.wu[i], chunks: int(s.progress[i]), bytes: migFullBytes(s.prof())})
+	s.clearWork(i)
 }
 
-// beginMigDownload starts pulling a queued checkpoint onto this host.
+// beginMigDownload starts pulling a queued checkpoint onto host i.
 // Until the download drains the host computes nothing — the work-fetch
 // gap a real client pays when it inherits a fat VM image.
-func (h *host) beginMigDownload(now sim.Time, mu migUnit) {
-	h.hasWork = false
-	h.progress = 0
-	h.accrued = now
-	h.pendingMig = mu
-	h.xfer = h.env.mig.net.Start(mu.bytes, h.downBps, (*migDownSink)(h))
-	h.xferKind = xferMigDownload
+func (s *hostSlab) beginMigDownload(i int32, now sim.Time, mu migUnit) {
+	ms := &s.mig[i]
+	s.hasWork[i] = false
+	s.progress[i] = 0
+	s.accrued[i] = now
+	ms.pendingMig = mu
+	ms.xfer = s.env.mig.net.Start(mu.bytes, ms.downBps, (*migDownSink)(s.arm(i)))
+	ms.xferKind = xferMigDownload
 }
 
 // migDownloadDone resumes the migrated unit at its checkpointed
 // progress. The carried chunks are science the grid did not have to
 // recompute; they are credited at the receiving host's current rate.
-func (h *host) migDownloadDone(now sim.Time, t *netsim.Transfer) {
-	mu := h.pendingMig
-	h.pendingMig = migUnit{}
-	h.xfer, h.xferKind = nil, xferNone
-	st := h.env.stats
+func (s *hostSlab) migDownloadDone(i int32, now sim.Time, t *netsim.Transfer) {
+	ms := &s.mig[i]
+	mu := ms.pendingMig
+	ms.pendingMig = migUnit{}
+	ms.xfer, ms.xferKind = nil, xferNone
+	st := s.env.stats
 	st.Migrations++
 	st.MigRxBytes += t.Bytes()
 	st.MigSavedChunks += int64(mu.chunks)
-	st.MigSavedSec += float64(mu.chunks) / h.rate()
-	h.wu = mu.wu
-	h.progress = float64(mu.chunks)
-	h.hasWork = true
-	h.accrued = now
-	h.scheduleCompletion(now)
+	st.MigSavedSec += float64(mu.chunks) / s.rate(i)
+	s.wu[i] = mu.wu
+	s.progress[i] = float64(mu.chunks)
+	s.hasWork[i] = true
+	s.accrued[i] = now
+	s.scheduleCompletion(i, now)
 }
 
-// armSyncTimer schedules the next eager sync tick.
-func (h *host) armSyncTimer(now sim.Time) {
-	h.syncTimer = h.env.sim.Schedule(now+migSyncPeriod, "mig-sync", (*syncTimerArm)(h))
+// armSyncTimer schedules host i's next eager sync tick.
+func (s *hostSlab) armSyncTimer(i int32, now sim.Time) {
+	s.mig[i].syncTimer = s.env.sim.Schedule(now+migSyncPeriod, "mig-sync", (*syncTimerArm)(s.arm(i)))
 }
 
 // syncTick pushes an incremental checkpoint to the server when the
 // host has new periodic-checkpoint progress to report and no other
 // transfer in flight.
-func (h *host) syncTick(now sim.Time) {
-	h.syncTimer = sim.Handle{}
-	if !h.on {
+func (s *hostSlab) syncTick(i int32, now sim.Time) {
+	ms := &s.mig[i]
+	ms.syncTimer = sim.Handle{}
+	if !s.on[i] {
 		return
 	}
-	h.armSyncTimer(now)
-	if !h.hasWork || h.xfer != nil {
+	s.armSyncTimer(i, now)
+	if !s.hasWork[i] || ms.xfer != nil {
 		return
 	}
-	h.accrue(now)
-	every := h.wu.CheckpointEvery
+	s.accrue(i, now)
+	every := s.wu[i].CheckpointEvery
 	if every < 1 {
 		every = 1
 	}
-	snap := int(h.progress) / every * every
+	snap := int(s.progress[i]) / every * every
 	if snap <= 0 {
 		return
 	}
-	if h.synced.ok && h.synced.seed == h.wu.Seed && h.synced.chunks >= snap {
+	if ms.synced.ok && ms.synced.seed == s.wu[i].Seed && ms.synced.chunks >= snap {
 		return // the server copy is already this fresh
 	}
-	h.syncChunks = snap
-	h.xfer = h.env.mig.net.Start(migSyncBytes(h.env.prof), h.upBps, (*syncUpSink)(h))
-	h.xferKind = xferSyncUpload
+	ms.syncChunks = snap
+	ms.xfer = s.env.mig.net.Start(migSyncBytes(s.prof()), ms.upBps, (*syncUpSink)(s.arm(i)))
+	ms.xferKind = xferSyncUpload
 }
 
 // syncUploadDone records the server's refreshed copy.
-func (h *host) syncUploadDone(now sim.Time, t *netsim.Transfer) {
-	h.xfer, h.xferKind = nil, xferNone
-	h.env.stats.MigTxBytes += t.Bytes()
-	h.synced = syncState{seed: h.wu.Seed, chunks: h.syncChunks, ok: true}
+func (s *hostSlab) syncUploadDone(i int32, now sim.Time, t *netsim.Transfer) {
+	ms := &s.mig[i]
+	ms.xfer, ms.xferKind = nil, xferNone
+	s.env.stats.MigTxBytes += t.Bytes()
+	ms.synced = syncState{seed: s.wu[i].Seed, chunks: ms.syncChunks, ok: true}
 }
 
 // migUnitDone runs when the host submits its current unit: a sync
 // still in flight is for a dead unit, and the server copy is obsolete.
-func (h *host) migUnitDone() {
-	if h.xfer != nil && h.xferKind == xferSyncUpload {
-		h.cancelXfer()
+func (s *hostSlab) migUnitDone(i int32) {
+	ms := &s.mig[i]
+	if ms.xfer != nil && ms.xferKind == xferSyncUpload {
+		s.cancelXfer(i)
 	}
-	h.synced = syncState{}
+	ms.synced = syncState{}
 }
 
-// clearWork strips the host of its unit after the server took it over.
-func (h *host) clearWork() {
-	h.wu = boinc.WorkUnit{}
-	h.progress = 0
-	h.hasWork = false
-	h.ckpt = nil
-	h.synced = syncState{}
+// clearWork strips host i of its unit after the server took it over.
+func (s *hostSlab) clearWork(i int32) {
+	s.wu[i] = boinc.WorkUnit{}
+	s.progress[i] = 0
+	s.hasWork[i] = false
+	s.ckpt[i] = nil
+	s.mig[i].synced = syncState{}
 }

@@ -32,20 +32,19 @@ func migTestEnv(t *testing.T, migration string) (*envShard, *sim.Simulator) {
 	return env, s
 }
 
-// migTestHost returns a hand-built host on env. The class is cloned
-// with an essentially infinite off-gap so a test-driven powerOff never
-// races a scheduled power-on against the transfer under test.
-func migTestHost(t *testing.T, env *envShard, id string) *host {
+// migTestSlab returns a hand-built slab of n hosts on env. The class is
+// cloned with an essentially infinite off-gap so a test-driven powerOff
+// never races a scheduled power-on against the transfer under test;
+// every host gets a 1 MB/s link each way.
+func migTestSlab(t *testing.T, env *envShard, n int) *hostSlab {
 	t.Helper()
 	class := Classes()[0]
 	class.MeanOffMin = 1e6 // ≈ two years: the scheduled power-on never lands in a test window
-	h := &host{
-		env: env, id: id, class: &class,
-		cal:      &Calibration{ActiveChunksPerSec: 1, IdleChunksPerSec: 1, BurstMs: []float64{1}},
-		ownerRNG: *sim.NewRNG(1), envRNG: *sim.NewRNG(2),
-		upBps: 8e6, downBps: 8e6, // 1 MB/s each way
+	sl := testSlab(env, 0, n, class)
+	for i := 0; i < n; i++ {
+		sl.mig[i].upBps, sl.mig[i].downBps = 8e6, 8e6 // 1 MB/s each way
 	}
-	return h
+	return sl
 }
 
 // TestMigrationOnDepartureRoundTrip walks the whole on-departure path:
@@ -55,13 +54,14 @@ func migTestHost(t *testing.T, env *envShard, id string) *host {
 // checkpointed progress.
 func TestMigrationOnDepartureRoundTrip(t *testing.T) {
 	env, s := migTestEnv(t, "on-departure")
-	src := migTestHost(t, env, "h0")
-	src.on, src.hasWork = true, true
-	src.wu = boinc.WorkUnit{Seed: 501, Chunks: 100_000, CheckpointEvery: 100}
-	src.progress, src.accrued = 351, 10*sim.Second
+	sl := migTestSlab(t, env, 2)
+	const src, dst = 0, 1
+	sl.on[src], sl.hasWork[src] = true, true
+	sl.wu[src] = boinc.WorkUnit{Seed: 501, Chunks: 100_000, CheckpointEvery: 100}
+	sl.progress[src], sl.accrued[src] = 351, 10*sim.Second
 
-	src.powerOff(10 * sim.Second)
-	if src.xfer == nil || src.xferKind != xferDepartUpload {
+	sl.powerOff(src, 10*sim.Second)
+	if sl.mig[src].xfer == nil || sl.mig[src].xferKind != xferDepartUpload {
 		t.Fatal("departure did not start a checkpoint upload")
 	}
 	if len(env.mig.pending) != 0 {
@@ -72,7 +72,7 @@ func TestMigrationOnDepartureRoundTrip(t *testing.T) {
 	if len(env.mig.pending) != 1 {
 		t.Fatalf("queue holds %d checkpoints after the upload, want 1", len(env.mig.pending))
 	}
-	if src.hasWork || src.ckpt != nil {
+	if sl.hasWork[src] || sl.ckpt[src] != nil {
 		t.Fatal("departed host still owns the unit after the server took it")
 	}
 	if env.stats.MigTxBytes == 0 {
@@ -82,9 +82,8 @@ func TestMigrationOnDepartureRoundTrip(t *testing.T) {
 		t.Fatalf("queued checkpoint carries %d chunks of unit %d, want 300 of 501", mu.chunks, mu.wu.Seed)
 	}
 
-	dst := migTestHost(t, env, "h1")
-	dst.powerOn(s.Now(), true)
-	if dst.hasWork || dst.xferKind != xferMigDownload {
+	sl.powerOn(dst, s.Now(), true)
+	if sl.hasWork[dst] || sl.mig[dst].xferKind != xferMigDownload {
 		t.Fatal("receiving host did not start the migration download")
 	}
 	s.RunUntil(400 * sim.Second)
@@ -92,8 +91,8 @@ func TestMigrationOnDepartureRoundTrip(t *testing.T) {
 	if st.Migrations != 1 || st.MigSavedChunks != 300 || st.MigRxBytes == 0 {
 		t.Fatalf("migration accounting wrong: %+v", st)
 	}
-	if !dst.hasWork || dst.wu.Seed != 501 || dst.progress != 300 {
-		t.Fatalf("unit did not resume at its checkpoint: wu=%d progress=%v", dst.wu.Seed, dst.progress)
+	if !sl.hasWork[dst] || sl.wu[dst].Seed != 501 || sl.progress[dst] != 300 {
+		t.Fatalf("unit did not resume at its checkpoint: wu=%d progress=%v", sl.wu[dst].Seed, sl.progress[dst])
 	}
 	if st.MigSavedSec != 300 { // 300 chunks at the pinned 1 chunk/s
 		t.Fatalf("saved recompute %v s, want 300", st.MigSavedSec)
@@ -105,19 +104,19 @@ func TestMigrationOnDepartureRoundTrip(t *testing.T) {
 // unit resumes from the local checkpoint, exactly as under "none".
 func TestMigrationReturnBeforeUploadResumesLocally(t *testing.T) {
 	env, s := migTestEnv(t, "on-departure")
-	h := migTestHost(t, env, "h0")
-	h.on, h.hasWork = true, true
-	h.wu = boinc.WorkUnit{Seed: 501, Chunks: 100_000, CheckpointEvery: 100}
-	h.progress, h.accrued = 351, 10*sim.Second
+	sl := migTestSlab(t, env, 1)
+	sl.on[0], sl.hasWork[0] = true, true
+	sl.wu[0] = boinc.WorkUnit{Seed: 501, Chunks: 100_000, CheckpointEvery: 100}
+	sl.progress[0], sl.accrued[0] = 351, 10*sim.Second
 
-	h.powerOff(10 * sim.Second)
+	sl.powerOff(0, 10*sim.Second)
 	s.RunUntil(12 * sim.Second) // a sliver of the ~79 s upload
-	h.powerOn(s.Now(), true)
-	if h.xfer != nil || len(env.mig.pending) != 0 {
+	sl.powerOn(0, s.Now(), true)
+	if sl.mig[0].xfer != nil || len(env.mig.pending) != 0 {
 		t.Fatal("abandoned upload still in flight or queued")
 	}
-	if !h.hasWork || h.progress != 300 || h.wu.Seed != 501 {
-		t.Fatalf("local resume failed: progress=%v wu=%d", h.progress, h.wu.Seed)
+	if !sl.hasWork[0] || sl.progress[0] != 300 || sl.wu[0].Seed != 501 {
+		t.Fatalf("local resume failed: progress=%v wu=%d", sl.progress[0], sl.wu[0].Seed)
 	}
 	if env.stats.Restores != 1 || env.stats.Migrations != 0 {
 		t.Fatalf("stats after local resume: %+v", env.stats)
@@ -135,39 +134,39 @@ func TestMigrationReturnBeforeUploadResumesLocally(t *testing.T) {
 // past the last sync) to LostChunks.
 func TestMigrationEagerSyncThenInstantDeparture(t *testing.T) {
 	env, s := migTestEnv(t, "eager")
-	h := migTestHost(t, env, "h0")
-	h.powerOn(0, true) // assigns a fresh fifo unit, arms the sync timer
-	if !h.hasWork {
+	sl := migTestSlab(t, env, 1)
+	sl.powerOn(0, 0, true) // assigns a fresh fifo unit, arms the sync timer
+	if !sl.hasWork[0] {
 		t.Fatal("power-on assigned no work")
 	}
-	every := h.wu.CheckpointEvery
+	every := sl.wu[0].CheckpointEvery
 
 	// One sync period at 1 chunk/s: progress 300, synced snapshot is
 	// the last periodic checkpoint boundary below it.
 	s.RunUntil(migSyncPeriod + 60*sim.Second) // sync tick + upload drain
-	if !h.synced.ok || h.synced.seed != h.wu.Seed {
-		t.Fatalf("no server copy after a sync period: %+v", h.synced)
+	if !sl.mig[0].synced.ok || sl.mig[0].synced.seed != sl.wu[0].Seed {
+		t.Fatalf("no server copy after a sync period: %+v", sl.mig[0].synced)
 	}
 	wantSnap := int(300) / every * every
-	if h.synced.chunks != wantSnap {
-		t.Fatalf("synced %d chunks, want %d", h.synced.chunks, wantSnap)
+	if sl.mig[0].synced.chunks != wantSnap {
+		t.Fatalf("synced %d chunks, want %d", sl.mig[0].synced.chunks, wantSnap)
 	}
 	if env.stats.MigTxBytes == 0 {
 		t.Fatal("sync moved no accounted bytes")
 	}
 
 	lostBefore := env.stats.LostChunks
-	seed := h.wu.Seed
+	seed := sl.wu[0].Seed
 	off := s.Now() + 10*sim.Second
-	h.accrue(off) // pin progress at the departure instant
-	h.powerOff(off)
+	sl.accrue(0, off) // pin progress at the departure instant
+	sl.powerOff(0, off)
 	if len(env.mig.pending) != 1 {
 		t.Fatal("eager departure did not queue the server copy instantly")
 	}
 	if mu := env.mig.pending[0]; mu.chunks != wantSnap || mu.wu.Seed != seed {
 		t.Fatalf("queued copy carries %d chunks of %d, want %d of %d", mu.chunks, mu.wu.Seed, wantSnap, seed)
 	}
-	if h.hasWork || h.ckpt != nil {
+	if sl.hasWork[0] || sl.ckpt[0] != nil {
 		t.Fatal("departed eager host kept its unit")
 	}
 	// Rollback loss plus staleness: everything past the synced snapshot.
@@ -183,13 +182,13 @@ func TestMigrationDownloadInterruptedRequeues(t *testing.T) {
 	env, s := migTestEnv(t, "on-departure")
 	env.mig.enqueue(migUnit{wu: boinc.WorkUnit{Seed: 901, Chunks: 100_000, CheckpointEvery: 100}, chunks: 400, bytes: 50_000_000})
 
-	dst := migTestHost(t, env, "h1")
-	dst.powerOn(0, true)
-	if dst.xferKind != xferMigDownload {
+	sl := migTestSlab(t, env, 1)
+	sl.powerOn(0, 0, true)
+	if sl.mig[0].xferKind != xferMigDownload {
 		t.Fatal("queued checkpoint not pulled")
 	}
 	s.RunUntil(5 * sim.Second) // 50 MB at 1 MB/s: nowhere near done
-	dst.powerOff(s.Now())
+	sl.powerOff(0, s.Now())
 	if len(env.mig.pending) != 1 || env.mig.pending[0].wu.Seed != 901 {
 		t.Fatalf("interrupted download not requeued: %+v", env.mig.pending)
 	}
@@ -211,22 +210,23 @@ func TestMigrationDropsValidatedUnits(t *testing.T) {
 	env, _ := migTestEnv(t, "on-departure")
 	env.policy = newPolicy(Scenario{Policy: "deadline", DeadlineMin: 1, ChunksPerUnit: 800}.Normalize(), "t", 700)
 
-	wu := env.policy.Assign("gone-host", 0)
+	const goneHost, rescuer = 7, 8
+	wu := env.policy.Assign(goneHost, 0)
 	env.mig.enqueue(migUnit{wu: wu, chunks: 400, bytes: 50_000_000})
 	// A deadline reissue beats the migration queue to it.
-	rescued := env.policy.Assign("rescuer", 2*60*sim.Second)
+	rescued := env.policy.Assign(rescuer, 2*60*sim.Second)
 	if rescued.Seed != wu.Seed {
 		t.Fatalf("overdue unit not reissued: %d vs %d", rescued.Seed, wu.Seed)
 	}
-	env.policy.Submit("rescuer", rescued, resultFor(rescued), 3*60*sim.Second)
+	env.policy.Submit(rescuer, rescued, resultFor(rescued), 3*60*sim.Second)
 
-	dst := migTestHost(t, env, "h1")
-	dst.powerOn(4*60*sim.Second, true)
-	if dst.xferKind == xferMigDownload {
+	sl := migTestSlab(t, env, 1)
+	sl.powerOn(0, 4*60*sim.Second, true)
+	if sl.mig[0].xferKind == xferMigDownload {
 		t.Fatal("validated unit still migrated")
 	}
-	if !dst.hasWork || dst.wu.Seed == wu.Seed {
-		t.Fatalf("host did not receive fresh work: %+v", dst.wu)
+	if !sl.hasWork[0] || sl.wu[0].Seed == wu.Seed {
+		t.Fatalf("host did not receive fresh work: %+v", sl.wu[0])
 	}
 	if len(env.mig.pending) != 0 {
 		t.Fatal("stale checkpoint left in the queue")

@@ -56,14 +56,17 @@ func (s *PolicyStats) add(other PolicyStats) {
 // Policy is a pluggable server-side scheduling discipline. A policy
 // instance serves one shard's population and must be deterministic in
 // its call sequence (the event loop guarantees the sequence itself is
-// deterministic).
+// deterministic). Hosts are identified by their global population
+// index; only the quorum policy — which wraps a real boinc.Project —
+// ever materializes the "h%06d" name string, and it does so lazily so
+// the fifo/deadline hot paths never format an identity at all.
 type Policy interface {
 	// Name identifies the policy ("fifo", "deadline", "replication").
 	Name() string
 	// Assign hands the requesting host a work unit.
-	Assign(host string, now sim.Time) boinc.WorkUnit
+	Assign(host int, now sim.Time) boinc.WorkUnit
 	// Submit records a returned result.
-	Submit(host string, wu boinc.WorkUnit, result int, now sim.Time)
+	Submit(host int, wu boinc.WorkUnit, result int, now sim.Time)
 	// Needed reports whether the unit still lacks a validated result —
 	// the liveness check the migration queue applies before placing a
 	// checkpoint, so a unit the policy meanwhile validated (a deadline
@@ -91,6 +94,7 @@ func newPolicy(scn Scenario, prefix string, seedBase uint64) Policy {
 		return &quorumPolicy{
 			p:      boinc.NewProject(prefix, scn.Replication, scn.ChunksPerUnit, seedBase),
 			issued: map[string]boinc.WorkUnit{},
+			names:  map[int]string{},
 		}
 	default:
 		panic(fmt.Sprintf("grid: unknown policy %q", scn.Policy)) // Validate rejects earlier
@@ -145,13 +149,13 @@ type fifoPolicy struct {
 func (p *fifoPolicy) Name() string { return "fifo" }
 func (p *fifoPolicy) timeFree()    {}
 
-func (p *fifoPolicy) Assign(host string, now sim.Time) boinc.WorkUnit {
+func (p *fifoPolicy) Assign(host int, now sim.Time) boinc.WorkUnit {
 	p.st.UnitsIssued++
 	p.st.Assignments++
 	return p.gen.gen()
 }
 
-func (p *fifoPolicy) Submit(host string, wu boinc.WorkUnit, result int, now sim.Time) {
+func (p *fifoPolicy) Submit(host int, wu boinc.WorkUnit, result int, now sim.Time) {
 	p.st.Returned++
 	p.st.Validated++
 	if result != resultFor(wu) {
@@ -194,7 +198,7 @@ type deadlinePolicy struct {
 
 func (p *deadlinePolicy) Name() string { return "deadline" }
 
-func (p *deadlinePolicy) Assign(host string, now sim.Time) boinc.WorkUnit {
+func (p *deadlinePolicy) Assign(host int, now sim.Time) boinc.WorkUnit {
 	for p.scan < len(p.units) && p.units[p.scan].done {
 		p.scan++
 	}
@@ -214,7 +218,7 @@ func (p *deadlinePolicy) Assign(host string, now sim.Time) boinc.WorkUnit {
 	return wu
 }
 
-func (p *deadlinePolicy) Submit(host string, wu boinc.WorkUnit, result int, now sim.Time) {
+func (p *deadlinePolicy) Submit(host int, wu boinc.WorkUnit, result int, now sim.Time) {
 	p.st.Returned++
 	u := p.bySeed[wu.Seed]
 	if u.done {
@@ -248,13 +252,26 @@ type quorumPolicy struct {
 	p      *boinc.Project
 	issued map[string]boinc.WorkUnit
 	order  []string // first-issue order, for deterministic stats
+	names  map[int]string
 	st     PolicyStats
 }
 
 func (p *quorumPolicy) Name() string { return "replication" }
 
-func (p *quorumPolicy) Assign(host string, now sim.Time) boinc.WorkUnit {
-	wu := p.p.RequestWork(host)
+// hostName formats the "h%06d" identity the wrapped Project keys its
+// volunteer ledger by, memoized per host (the map stays bounded by the
+// shard's population).
+func (p *quorumPolicy) hostName(host int) string {
+	name, ok := p.names[host]
+	if !ok {
+		name = hostID(host)
+		p.names[host] = name
+	}
+	return name
+}
+
+func (p *quorumPolicy) Assign(host int, now sim.Time) boinc.WorkUnit {
+	wu := p.p.RequestWork(p.hostName(host))
 	if _, seen := p.issued[wu.ID]; !seen {
 		p.issued[wu.ID] = wu
 		p.order = append(p.order, wu.ID)
@@ -263,9 +280,9 @@ func (p *quorumPolicy) Assign(host string, now sim.Time) boinc.WorkUnit {
 	return wu
 }
 
-func (p *quorumPolicy) Submit(host string, wu boinc.WorkUnit, result int, now sim.Time) {
+func (p *quorumPolicy) Submit(host int, wu boinc.WorkUnit, result int, now sim.Time) {
 	p.st.Returned++
-	p.p.SubmitResult(host, wu.ID, result)
+	p.p.SubmitResult(p.hostName(host), wu.ID, result)
 }
 
 // Needed: a unit whose quorum completed while the checkpoint was in

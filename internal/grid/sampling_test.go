@@ -216,6 +216,65 @@ func TestSettledCompletionsMatchEventDriven(t *testing.T) {
 	}
 }
 
+// TestGroupedBurstSettlingMatchesPerHost pins the grouped settling
+// path (one multinomial chain per class at the horizon,
+// drainBurstsGrouped) against the per-host reference drains: the total
+// burst count must be conserved exactly, the latency CDFs must agree
+// within a small KS distance, the checked percentiles must land within
+// one histogram bin, and every statistic other than the latency
+// histogram must be byte-identical — grouping only re-draws how the
+// same burst mass distributes over bins.
+func TestGroupedBurstSettlingMatchesPerHost(t *testing.T) {
+	scn := quickScn() // churn on: phases open and close all day
+	scn.Machines = 400
+	run := func() *EnvStats {
+		sr, err := RunShard(scn, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sr.Envs[0]
+	}
+	grouped := run()
+	batchSettleBursts = false
+	defer func() { batchSettleBursts = true }()
+	perHost := run()
+
+	if grouped.Latency.N != perHost.Latency.N {
+		t.Fatalf("grouped settling changed the burst count: %d vs %d", grouped.Latency.N, perHost.Latency.N)
+	}
+	if grouped.Latency.N == 0 {
+		t.Fatal("scenario produced no bursts; the test compares nothing")
+	}
+
+	var cumG, cumP, ks float64
+	for i := 0; i < histBins; i++ {
+		cumG += float64(grouped.Latency.Counts[i]) / float64(grouped.Latency.N)
+		cumP += float64(perHost.Latency.Counts[i]) / float64(perHost.Latency.N)
+		if d := math.Abs(cumG - cumP); d > ks {
+			ks = d
+		}
+	}
+	if ks > 0.02 {
+		t.Fatalf("KS distance %.4f between grouped and per-host latency histograms exceeds 0.02", ks)
+	}
+	for _, p := range []float64{0.50, 0.90, 0.95, 0.99} {
+		g, r := grouped.Latency.Percentile(p), perHost.Latency.Percentile(p)
+		if ratio := g / r; ratio < 0.93 || ratio > 1.08 {
+			t.Errorf("p%.0f diverged: grouped %.2f ms vs per-host %.2f ms", p*100, g, r)
+		}
+	}
+
+	// Grouping draws on its own derived stream after the event loop
+	// ends, so nothing else may move — not even the Fired probe.
+	g, p := *grouped, *perHost
+	g.Latency, p.Latency = Histogram{}, Histogram{}
+	a, _ := json.Marshal(g)
+	b, _ := json.Marshal(p)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("grouped settling perturbed non-latency statistics:\n%s\nvs\n%s", a, b)
+	}
+}
+
 // TestMergerStreaming checks the incremental fold: absorbing shards one
 // at a time in index order matches the batch merge, and out-of-order or
 // short folds are rejected.

@@ -86,6 +86,9 @@ type envShard struct {
 	sim    *sim.Simulator
 	policy Policy
 	stats  *EnvStats
+	// slice is the population-slice index, seeding the shard-level
+	// grouped-settling stream.
+	slice int
 	// mig is the shard's checkpoint-migration plane (netsim network +
 	// server-side placement queue); nil when the scenario's migration
 	// policy is "none", which keeps that path byte-identical to the
@@ -102,6 +105,12 @@ type envShard struct {
 // off to check the settled and event-driven paths produce identical
 // statistics.
 var batchCompletions = true
+
+// batchSettleBursts gates the grouped (per-class) burst settling at
+// the horizon. Tests flip it off to pin the grouped path against the
+// per-host reference (identical total counts, KS/percentile-equivalent
+// latency distribution, byte-identical everything else).
+var batchSettleBursts = true
 
 // RunShard simulates shard i of the scenario: one environment over one
 // slice of the population (shards enumerate environments in scenario
@@ -128,9 +137,14 @@ func RunShard(scn Scenario, shard int) (*ShardResult, error) {
 }
 
 // runEnvShard runs one environment's event loop over hosts [lo, hi).
+// The hosts live in the worker's recycled arena slab (slab.go): a
+// million-host fleet is a few thousand slab resets on a handful of
+// arenas, not millions of individual allocations.
 func runEnvShard(scn Scenario, prof vmm.Profile, shard, lo, hi int) (*EnvStats, error) {
 	classes := Classes()
-	s := sim.New()
+	arena := acquireArena()
+	defer arena.release()
+	s := arena.sim
 	horizon := sim.Time(scn.Minutes) * 60 * sim.Second
 	prefix := fmt.Sprintf("s%03d-%s", shard, prof.Name)
 	env := &envShard{
@@ -139,61 +153,66 @@ func runEnvShard(scn Scenario, prof vmm.Profile, shard, lo, hi int) (*EnvStats, 
 		sim:    s,
 		policy: newPolicy(scn, prefix, envSeed(scn.Seed, prof.Name, -1-shard)),
 		stats:  &EnvStats{Env: prof.Name, Hosts: hi - lo},
+		slice:  shard,
 	}
 	_, free := env.policy.(timeFree)
 	env.batch = free && batchCompletions && scn.Migration == "none"
-	if scn.Migration != "none" {
+	migrates := scn.Migration != "none"
+	if migrates {
 		env.mig = newMigrator(env, s)
 	}
 
 	// Calibrations are resolved once per class actually present in the
 	// shard; every host of the class shares the same read-only pointer.
 	every := boinc.CheckpointCadence(scn.ChunksPerUnit)
-	cals := make([]*Calibration, len(classes))
 
-	// Hosts live in one contiguous block: a million-host fleet is a few
-	// thousand of these slabs, not millions of individual allocations.
-	hosts := make([]host, hi-lo)
+	slab := &arena.slab
+	slab.reset(env, lo, hi-lo, classes, migrates)
 	for g := lo; g < hi; g++ {
+		i := int32(g - lo)
 		ci := classIndexFor(classes, scn.Seed, g)
 		class := &classes[ci]
-		if cals[ci] == nil {
+		if slab.cals[ci] == nil {
 			cal, err := calibrationFor(class, prof, scn.Seed, every, scn.Quick)
 			if err != nil {
 				return nil, err
 			}
-			cals[ci] = &cal
+			slab.cals[ci] = &cal
 		}
-		h := &hosts[g-lo]
-		h.env = env
-		h.id = hostID(g)
-		h.class = class
-		h.cal = cals[ci]
-		h.ownerRNG = *sim.NewRNG(hostSeed(scn.Seed, g))
-		h.envRNG = *sim.NewRNG(envSeed(scn.Seed, prof.Name, g))
-		h.faulty = h.ownerRNG.Float64() < scn.FaultyFrac
-		if env.mig != nil {
-			h.upBps, h.downBps = hostLinkBps(class, scn.Seed, g)
+		slab.classIdx[i] = uint8(ci)
+		slab.ownerRNG[i] = *sim.NewRNG(hostSeed(scn.Seed, g))
+		slab.envRNG[i] = *sim.NewRNG(envSeed(scn.Seed, prof.Name, g))
+		slab.faulty[i] = slab.ownerRNG[i].Float64() < scn.FaultyFrac
+		if migrates {
+			ms := &slab.mig[i]
+			ms.upBps, ms.downBps = hostLinkBps(class, scn.Seed, g)
 		}
 
 		if !scn.Churn {
-			h.powerOn(0, h.stationaryActive())
+			slab.powerOn(i, 0, slab.stationaryActive(i))
 			continue
 		}
 		// Stationary start: on with the class's long-run availability
 		// (owner present per their long-run presence), otherwise
 		// returning after a residual off-gap.
 		pOn := class.MeanOnMin / (class.MeanOnMin + class.MeanOffMin)
-		if h.ownerRNG.Float64() < pOn {
-			h.powerOn(0, h.stationaryActive())
+		if slab.ownerRNG[i].Float64() < pOn {
+			slab.powerOn(i, 0, slab.stationaryActive(i))
 		} else {
-			s.Schedule(h.exp(class.MeanOffMin), "power-on", (*powerOnArm)(h))
+			s.Schedule(slab.exp(i, class.MeanOffMin), "power-on", (*powerOnArm)(slab.arm(i)))
 		}
 	}
 
 	s.RunUntil(horizon)
-	for i := range hosts {
-		hosts[i].finalize(horizon)
+	for i := int32(0); int(i) < slab.n; i++ {
+		slab.finalize(i, horizon)
+	}
+	if batchSettleBursts {
+		slab.drainBurstsGrouped()
+	} else {
+		for i := int32(0); int(i) < slab.n; i++ {
+			slab.drainBursts(i)
+		}
 	}
 	env.stats.Policy = env.policy.Stats()
 	env.stats.Fired = s.Fired()

@@ -273,6 +273,30 @@ func (s *Simulator) release(e *Event) {
 // Stop makes Run return after the currently executing event completes.
 func (s *Simulator) Stop() { s.stopped = true }
 
+// Reset returns the simulator to the zero-clock empty state while
+// keeping its allocations: queued pooled events are recycled into the
+// free pool (their generations bump, so outstanding Handles degrade to
+// no-ops exactly as after a fire), and the queue's backing array is
+// retained. A reset simulator is indistinguishable from New() to any
+// model code — sequence numbers, the clock, and the fired counter all
+// restart at zero — which is what lets a worker arena reuse one
+// Simulator across many shard runs without a single steady-state
+// allocation. Resetting mid-Run panics.
+func (s *Simulator) Reset() {
+	if s.running {
+		panic("sim: Reset during Run")
+	}
+	for _, c := range s.queue {
+		c.e.index = -1
+		s.release(c.e) // non-pooled events are simply dropped
+	}
+	clear(s.queue)
+	s.queue = s.queue[:0]
+	s.now, s.seq, s.fired = 0, 0, 0
+	s.stopped = false
+	s.tracer = nil
+}
+
 // step fires the earliest non-cancelled event. It reports false when the
 // queue is exhausted.
 func (s *Simulator) step() bool {

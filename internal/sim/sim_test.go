@@ -390,3 +390,71 @@ func TestSimulatorDeterminism(t *testing.T) {
 		t.Fatalf("two identical runs diverged: (%d,%v) vs (%d,%v)", f1, t1, f2, t2)
 	}
 }
+
+// resetCaller counts fires, standing in for a model arm.
+type resetCaller struct{ fired int }
+
+func (c *resetCaller) Fire(now Time) { c.fired++ }
+
+// TestResetRestoresZeroState: a reset simulator must be observationally
+// identical to a fresh one — clock, sequence order, fired counter — and
+// Handles from before the reset must degrade to no-ops.
+func TestResetRestoresZeroState(t *testing.T) {
+	s := New()
+	c := &resetCaller{}
+	s.Schedule(Second, "a", c)
+	stale := s.Schedule(2*Second, "b", c)
+	s.RunUntil(Second) // fires "a", leaves "b" queued
+
+	s.Reset()
+	if s.Now() != 0 || s.Fired() != 0 || s.Pending() != 0 {
+		t.Fatalf("reset left now=%v fired=%d pending=%d", s.Now(), s.Fired(), s.Pending())
+	}
+	if stale.Active() {
+		t.Fatal("pre-reset handle still active")
+	}
+	stale.Cancel() // must be a no-op on whatever reused the event
+
+	// A schedule/run cycle after Reset must behave exactly like on a
+	// fresh simulator, including tie-breaking by insertion order.
+	var order []string
+	rec := func(name string) Caller { return callerFunc(func(Time) { order = append(order, name) }) }
+	s.Schedule(Second, "x", rec("x"))
+	s.Schedule(Second, "y", rec("y"))
+	s.Run()
+	if len(order) != 2 || order[0] != "x" || order[1] != "y" {
+		t.Fatalf("post-reset tie order %v, want [x y]", order)
+	}
+	if s.Fired() != 2 {
+		t.Fatalf("post-reset fired %d, want 2", s.Fired())
+	}
+	if c.fired != 1 {
+		t.Fatalf("pre-reset callbacks fired %d times, want 1", c.fired)
+	}
+}
+
+// callerFunc adapts a func to Caller for tests.
+type callerFunc func(Time)
+
+func (f callerFunc) Fire(now Time) { f(now) }
+
+// TestResetReusesPooledEvents: after a Reset, scheduling draws from the
+// free pool rather than allocating — the arena-reuse contract.
+func TestResetReusesPooledEvents(t *testing.T) {
+	s := New()
+	c := &resetCaller{}
+	for i := 0; i < 64; i++ {
+		s.Schedule(Time(i)*Millisecond, "warm", c)
+	}
+	s.RunUntil(32 * Millisecond) // fire some, leave the rest queued
+	s.Reset()
+
+	allocs := testing.AllocsPerRun(10, func() {
+		h := s.Schedule(Second, "steady", c)
+		s.Reset()
+		_ = h
+	})
+	if allocs > 0 {
+		t.Fatalf("schedule after Reset allocates %.1f per op, want 0", allocs)
+	}
+}
