@@ -56,6 +56,11 @@ type benchResult struct {
 
 	// Sweep holds the -sweep mode's per-worker-count measurements.
 	Sweep []sweepPoint `json:"sweep,omitempty"`
+
+	// Concurrent holds the -concurrent mode's multi-run measurement:
+	// N overlapping sweeps through one shared pool, flight group, and
+	// two-tier cache (see benchconc.go).
+	Concurrent *concurrentResult `json:"concurrent,omitempty"`
 }
 
 // sweepPoint is one -sweep measurement: the same scenario run at one
@@ -95,6 +100,8 @@ func cmdBench(args []string) error {
 	quick := fs.Bool("quick", false, "trim calibration windows (integration tests)")
 	out := fs.String("out", "BENCH_fleet.json", "benchmark artifact path ('-' for stdout)")
 	sweep := fs.String("sweep", "", "comma-separated worker counts to sweep (e.g. 1,4,8)")
+	concurrent := fs.Int("concurrent", 0, "also measure N concurrent overlapping sweeps on one shared pool (0 = off)")
+	concMachines := fs.Int("concurrent-machines", 20_000, "fleet size per sweep point in the -concurrent measurement")
 	check := fs.Bool("check", false, "measure and fail on regression against -baseline instead of writing an artifact")
 	baselinePath := fs.String("baseline", "BENCH_fleet.json", "committed artifact -check compares against")
 	tolerance := fs.Float64("tolerance", 0.10, "fractional hosts/s regression -check tolerates")
@@ -162,6 +169,13 @@ func cmdBench(args []string) error {
 			return err
 		}
 		res.Sweep, err = benchSweep(scn, cfg, counts)
+		if err != nil {
+			return err
+		}
+	}
+
+	if *concurrent > 0 {
+		res.Concurrent, err = benchConcurrent(*concurrent, *concMachines, *minutes, cfg)
 		if err != nil {
 			return err
 		}

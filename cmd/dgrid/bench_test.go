@@ -5,6 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
+
+	"vmdg/internal/core"
 )
 
 // TestBenchGateMath pins the gate's boundary arithmetic: a regression
@@ -115,5 +118,60 @@ func TestBenchSweepArtifactAndCheckGate(t *testing.T) {
 		"-baseline", artifact, "-tolerance", "0.10", "-slowdown", "4")
 	if err := cmdBench(slowArgs); err == nil {
 		t.Fatal("4× slowdown passed the 10% regression gate")
+	}
+}
+
+func TestMedianDuration(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	if got := medianDuration(nil); got != 0 {
+		t.Errorf("median of nothing = %v", got)
+	}
+	if got := medianDuration([]time.Duration{ms(7)}); got != ms(7) {
+		t.Errorf("median of one = %v, want 7ms", got)
+	}
+	if got := medianDuration([]time.Duration{ms(9), ms(1), ms(5)}); got != ms(5) {
+		t.Errorf("odd median = %v, want 5ms", got)
+	}
+	if got := medianDuration([]time.Duration{ms(8), ms(2), ms(4), ms(6)}); got != ms(5) {
+		t.Errorf("even median = %v, want 5ms", got)
+	}
+}
+
+// TestBenchConcurrentSmall runs the -concurrent measurement on a tiny
+// quick fleet and pins its deterministic invariants: the single-flight
+// group holds computed shards to exactly the cross-run unique-key
+// union, the work accounting is self-consistent, and both warm-replay
+// p50s are real measurements. Flight-hit counts are timing-dependent
+// (no gates in the production path), so only the computed==unique
+// consequence — which holds under every interleaving — is asserted.
+func TestBenchConcurrentSmall(t *testing.T) {
+	cfg := core.Config{Seed: 1, Quick: true}
+	res, err := benchConcurrent(3, 600, 60, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 3 || res.PointsPerRun != 2 {
+		t.Fatalf("geometry: %+v", res)
+	}
+	// 600 machines → 2 population shards per point; specs A and B cover
+	// 3 distinct policy points.
+	if res.ShardsPerRun != 4 || res.UniqueShards != 6 {
+		t.Fatalf("shards per run %d / unique %d, want 4 / 6", res.ShardsPerRun, res.UniqueShards)
+	}
+	if res.ComputedShards != res.UniqueShards {
+		t.Errorf("computed %d shards, want the unique union %d — single-flight or cache dedup broke",
+			res.ComputedShards, res.UniqueShards)
+	}
+	if res.FlightHits != res.FlightShared {
+		t.Errorf("flight hits %d != flight shared %d", res.FlightHits, res.FlightShared)
+	}
+	if res.ColdElapsedSec <= 0 || res.AggregateHostsPerSec <= 0 {
+		t.Errorf("implausible cold measurement: %+v", res)
+	}
+	if res.WarmMemP50Ms <= 0 || res.WarmDiskP50Ms <= 0 {
+		t.Errorf("warm replays not measured: mem %.3fms disk %.3fms", res.WarmMemP50Ms, res.WarmDiskP50Ms)
+	}
+	if res.PoolWorkers < 3 {
+		t.Errorf("pool workers %d < runs; the cold burst would serialize", res.PoolWorkers)
 	}
 }

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"vmdg/internal/core"
+	"vmdg/internal/engine"
+	"vmdg/internal/grid"
+)
+
+// The -concurrent mode measures the engine as a multi-tenant service:
+// N sweeps run at once through one shared worker pool, one shard
+// cache, and one single-flight group — the serve-daemon shape — and
+// the artifact records how much of the fleet's work collapsed. Runs
+// alternate between two overlapping sweep specs (a policy sweep and a
+// churn sweep over the same fleet, sharing their deadline/no-churn
+// point), so the measurement exercises both full overlap (identical
+// runs) and partial overlap (the shared point), exactly the tenant mix
+// the single-flight group exists for.
+
+// concurrentResult is the artifact's "concurrent" object.
+type concurrentResult struct {
+	Runs         int `json:"runs"`
+	Machines     int `json:"machines"`
+	PointsPerRun int `json:"points_per_run"`
+	ShardsPerRun int `json:"shards_per_run"`
+	// UniqueShards is the cross-run union of cache keys: the simulation
+	// work N perfectly-deduplicated runs would cost. ComputedShards is
+	// what this measurement actually computed (Σ misses); the
+	// single-flight invariant makes them equal.
+	UniqueShards   int `json:"unique_shards"`
+	ComputedShards int `json:"computed_shards"`
+	FlightHits     int `json:"flight_hits"`
+	FlightShared   int `json:"flight_shared"`
+	PoolWorkers    int `json:"pool_workers"`
+
+	ColdElapsedSec       float64 `json:"cold_elapsed_sec"`
+	AggregateHostsPerSec float64 `json:"aggregate_hosts_per_sec"`
+	// Warm replay latency per run, p50 over the runs: once with the
+	// in-memory payload tier serving (the tier the cold phase filled),
+	// once through a fresh FileCache handle with no tier (every payload
+	// read from disk).
+	WarmMemP50Ms  float64 `json:"warm_mem_p50_ms"`
+	WarmDiskP50Ms float64 `json:"warm_disk_p50_ms"`
+
+	PeakRSSBytes int64 `json:"peak_rss_bytes"`
+	RSSReset     bool  `json:"rss_reset"`
+}
+
+// concurrentSpecs builds the two overlapping sweeps the runs alternate
+// between: A sweeps policy (fifo, deadline), B sweeps churn on the
+// deadline policy. The deadline/no-churn point appears in both, so
+// distinct-spec runs share exactly one point's shards while same-spec
+// runs share everything. The replication policy is deliberately
+// absent: at full 480-minute scale one of its shards costs two orders
+// of magnitude more than a fifo/deadline one, which would turn the
+// dedup measurement into a replication-policy benchmark.
+func concurrentSpecs(machines, minutes int) (a, b grid.Spec) {
+	base := grid.Spec{
+		Version:  1,
+		Envs:     []string{"vmplayer"},
+		Machines: []int{machines},
+		Minutes:  []int{minutes},
+	}
+	a, b = base, base
+	a.Name, a.Policy = "concA", []string{"fifo", "deadline"}
+	b.Name, b.Policy, b.Churn = "concB", []string{"deadline"}, []bool{false, true}
+	return a, b
+}
+
+// concurrentPoolWorkers sizes the shared pool: at least one worker per
+// run (so tenants overlap in time even on a single-core container —
+// a pool smaller than the run count serializes the runs and the
+// measurement would never exercise the single-flight path), and never
+// below GOMAXPROCS.
+func concurrentPoolWorkers(runs int) int {
+	w := runtime.GOMAXPROCS(0)
+	if runs > w {
+		w = runs
+	}
+	if w < 2 {
+		w = 2
+	}
+	return w
+}
+
+// benchConcurrent runs the three-phase concurrency measurement: a cold
+// barrier-started burst of N overlapping sweeps, then warm replays
+// through the memory tier, then warm replays from disk only.
+func benchConcurrent(runs, machines, minutes int, cfg core.Config) (*concurrentResult, error) {
+	if runs < 1 {
+		return nil, fmt.Errorf("bench: -concurrent wants at least 1 run, got %d", runs)
+	}
+	specA, specB := concurrentSpecs(machines, minutes)
+	expA, err := engine.NewSweep("concA", "concurrent bench sweep A", specA)
+	if err != nil {
+		return nil, err
+	}
+	expB, err := engine.NewSweep("concB", "concurrent bench sweep B", specB)
+	if err != nil {
+		return nil, err
+	}
+	exps := make([]engine.Experiment, runs)
+	for i := range exps {
+		if i%2 == 0 {
+			exps[i] = expA
+		} else {
+			exps[i] = expB
+		}
+	}
+
+	// The union of cache keys across the runs: each spec has 2 points of
+	// S shards; distinct specs share the deadline point, so two specs
+	// cover 3 points. One run (or one spec) covers its own 2.
+	scn := grid.Scenario{Machines: machines, Minutes: minutes,
+		Policy: "fifo", Envs: specA.Envs, Quick: cfg.Quick}
+	pointShards := scn.Normalize().Shards()
+	shardsPerRun := expA.Shards(cfg)
+	unique := 2 * pointShards
+	if runs > 1 {
+		unique = 3 * pointShards
+	}
+
+	dir, err := os.MkdirTemp("", "dgrid-bench-conc-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	fc, err := engine.NewFileCache(dir)
+	if err != nil {
+		return nil, err
+	}
+	fc.EnableMemTier(engine.DefaultMemTierBytes)
+	pool := engine.NewPool(concurrentPoolWorkers(runs))
+	defer pool.Close()
+	reset := resetPeakRSS()
+
+	// Phase 1 — cold burst: every run released at once, one shared pool
+	// and flight group between them.
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		stats    []engine.Stats
+		start    = make(chan struct{})
+	)
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(exp engine.Experiment) {
+			defer wg.Done()
+			r := engine.Runner{Pool: pool, Cache: fc}
+			<-start
+			_, st, err := r.Run(cfg, []engine.Experiment{exp})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			stats = append(stats, st)
+		}(exps[i])
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	cold := time.Since(t0)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res := &concurrentResult{
+		Runs:           runs,
+		Machines:       machines,
+		PointsPerRun:   shardsPerRun / pointShards,
+		ShardsPerRun:   shardsPerRun,
+		UniqueShards:   unique,
+		PoolWorkers:    pool.Workers(),
+		ColdElapsedSec: cold.Seconds(),
+		RSSReset:       reset,
+	}
+	hostsPerRun := machines * res.PointsPerRun
+	res.AggregateHostsPerSec = float64(runs*hostsPerRun) / cold.Seconds()
+	for _, st := range stats {
+		res.ComputedShards += st.Misses
+		res.FlightHits += st.FlightHits
+		res.FlightShared += st.FlightShared
+	}
+
+	// Phase 2 — warm replays through the memory tier the cold burst
+	// filled. Phase 3 — the same replays through a fresh handle with no
+	// tier, so every payload is a file read. Both replay serially: the
+	// p50 is a per-run latency, not another throughput burst.
+	res.WarmMemP50Ms, err = replayP50(exps, cfg, fc)
+	if err != nil {
+		return nil, err
+	}
+	diskOnly, err := engine.NewFileCache(dir)
+	if err != nil {
+		return nil, err
+	}
+	res.WarmDiskP50Ms, err = replayP50(exps, cfg, diskOnly)
+	if err != nil {
+		return nil, err
+	}
+	res.PeakRSSBytes = peakRSS()
+
+	fmt.Fprintf(os.Stderr,
+		"dgrid: bench concurrent %d runs × %d hosts: %.2fs cold — %.0f hosts/s aggregate, %d/%d shards computed, %d flight hits; warm p50 %.1fms mem vs %.1fms disk\n",
+		runs, hostsPerRun, res.ColdElapsedSec, res.AggregateHostsPerSec,
+		res.ComputedShards, runs*shardsPerRun, res.FlightHits,
+		res.WarmMemP50Ms, res.WarmDiskP50Ms)
+	return res, nil
+}
+
+// replayP50 re-runs every sweep serially against cache and reports the
+// median wall time in milliseconds.
+func replayP50(exps []engine.Experiment, cfg core.Config, cache engine.Cache) (float64, error) {
+	times := make([]time.Duration, 0, len(exps))
+	for _, exp := range exps {
+		r := engine.Runner{Workers: 1, Cache: cache}
+		t0 := time.Now()
+		if _, _, err := r.Run(cfg, []engine.Experiment{exp}); err != nil {
+			return 0, err
+		}
+		times = append(times, time.Since(t0))
+	}
+	return float64(medianDuration(times)) / float64(time.Millisecond), nil
+}
+
+// medianDuration is the p50 of the samples (the mean of the middle two
+// for even counts).
+func medianDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}

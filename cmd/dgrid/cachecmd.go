@@ -1,16 +1,57 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"vmdg/internal/engine"
 )
 
+// cacheReport is the -json schema of `dgrid cache`: the on-disk tier,
+// the fold manifests, and the in-memory payload tier (populated for
+// this process, so a fresh CLI invocation reports it empty — the
+// counters matter to long-lived embedders scraping the same struct).
+type cacheReport struct {
+	Dir           string          `json:"dir"`
+	Entries       int             `json:"entries"`
+	Bytes         int64           `json:"bytes"`
+	OldestUnix    int64           `json:"oldest_unix,omitempty"`
+	NewestUnix    int64           `json:"newest_unix,omitempty"`
+	ActiveRuns    int             `json:"active_runs"`
+	Manifests     int             `json:"manifests"`
+	Resumable     int             `json:"resumable"`
+	ManifestBytes int64           `json:"manifest_bytes"`
+	List          []cacheManifest `json:"manifest_list,omitempty"`
+	Mem           *memReport      `json:"mem,omitempty"`
+}
+
+type cacheManifest struct {
+	Identity string `json:"identity"`
+	Tasks    int    `json:"tasks"`
+	Cursor   int    `json:"cursor"`
+	Complete bool   `json:"complete"`
+	Torn     bool   `json:"torn"`
+}
+
+// memReport mirrors engine.MemTierStats in snake_case.
+type memReport struct {
+	Entries   int     `json:"entries"`
+	Bytes     int64   `json:"bytes"`
+	MaxBytes  int64   `json:"max_bytes"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
 // cmdCache inspects and maintains the on-disk shard cache. Without
 // flags it prints the cache location and contents; -prune applies the
-// retention caps and -clear empties it.
+// retention caps, -clear empties it, and -json emits the same report
+// as one machine-readable object (operation summaries then go to
+// stderr so stdout is exactly the JSON).
 func cmdCache(args []string) error {
 	fs := flag.NewFlagSet("dgrid cache", flag.ExitOnError)
 	dir := fs.String("dir", "", "cache directory (default: the user cache dir)")
@@ -18,6 +59,7 @@ func cmdCache(args []string) error {
 	maxAge := fs.Duration("max-age", engine.DefaultMaxAge, "with -prune: remove entries older than this (0 = no age cap)")
 	maxBytes := fs.Int64("max-bytes", engine.DefaultMaxBytes, "with -prune: keep at most this many payload bytes (oldest removed first; 0 = no cap)")
 	clear := fs.Bool("clear", false, "remove every cache entry")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON on stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -39,39 +81,86 @@ func cmdCache(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Enable the tier the run commands use, so -json reports its
+	// configured capacity alongside the disk stats.
+	fc.EnableMemTier(engine.DefaultMemTierBytes)
 
+	opOut := os.Stdout
+	if *jsonOut {
+		opOut = os.Stderr
+	}
 	switch {
 	case *clear:
 		removed, freed, err := fc.Clear()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("cleared %d entries (%s) from %s\n", removed, formatBytes(freed), fc.Dir())
+		fmt.Fprintf(opOut, "cleared %d entries (%s) from %s\n", removed, formatBytes(freed), fc.Dir())
 	case *prune:
 		removed, freed, err := fc.Prune(*maxAge, *maxBytes)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("pruned %d entries (%s) from %s\n", removed, formatBytes(freed), fc.Dir())
+		fmt.Fprintf(opOut, "pruned %d entries (%s) from %s\n", removed, formatBytes(freed), fc.Dir())
 	}
 
 	st, err := fc.Stats()
 	if err != nil {
 		return err
 	}
+	mis, err := fc.Manifests().List()
+	if err != nil {
+		return err
+	}
+
+	if *jsonOut {
+		rep := cacheReport{
+			Dir:           fc.Dir(),
+			Entries:       st.Entries,
+			Bytes:         st.Bytes,
+			ActiveRuns:    st.ActiveRuns,
+			Manifests:     st.Manifests,
+			Resumable:     st.Resumable,
+			ManifestBytes: st.ManifestBytes,
+		}
+		if !st.Oldest.IsZero() {
+			rep.OldestUnix = st.Oldest.Unix()
+			rep.NewestUnix = st.Newest.Unix()
+		}
+		for _, mi := range mis {
+			rep.List = append(rep.List, cacheManifest{
+				Identity: mi.Identity, Tasks: mi.Tasks, Cursor: mi.Cursor,
+				Complete: mi.Complete, Torn: mi.Torn,
+			})
+		}
+		if ms, ok := fc.MemStats(); ok {
+			rep.Mem = &memReport{
+				Entries: ms.Entries, Bytes: ms.Bytes, MaxBytes: ms.MaxBytes,
+				Hits: ms.Hits, Misses: ms.Misses, Evictions: ms.Evictions,
+				HitRate: ms.HitRate(),
+			}
+		}
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		os.Stdout.Write(b)
+		return nil
+	}
+
 	fmt.Printf("cache %s: %d entries, %s", fc.Dir(), st.Entries, formatBytes(st.Bytes))
 	if st.Entries > 0 {
 		fmt.Printf(", oldest %s ago", time.Since(st.Oldest).Round(time.Minute))
 	}
 	fmt.Println()
+	if st.ActiveRuns > 0 {
+		fmt.Printf("active runs: %d (their journaled payloads are prune-protected; -clear refuses)\n", st.ActiveRuns)
+	}
 
 	// Fold manifests: the journals that make interrupted sweeps
 	// resumable. A "resumable" manifest is an interrupted run — the
 	// same command line picks it up at the cursor shown here.
-	mis, err := fc.Manifests().List()
-	if err != nil {
-		return err
-	}
 	if len(mis) > 0 {
 		fmt.Printf("manifests: %d (%d resumable, %s)\n", st.Manifests, st.Resumable, formatBytes(st.ManifestBytes))
 		for _, mi := range mis {

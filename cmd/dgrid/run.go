@@ -72,6 +72,10 @@ func newRunner(workers int, cache string, resume, verbose bool) (*engine.Runner,
 	// any journal whose payloads it evicts is truncated first and the
 	// run's resume point is already consistent.
 	if fc, ok := r.Cache.(*engine.FileCache); ok {
+		// Warm replays within this process serve shard payloads from
+		// memory instead of re-reading their files; disk stays the
+		// durable tier underneath.
+		fc.EnableMemTier(engine.DefaultMemTierBytes)
 		fc.Prune(engine.DefaultMaxAge, engine.DefaultMaxBytes)
 		if resume {
 			r.Manifests = fc.Manifests()
@@ -99,6 +103,10 @@ func summarize(stats engine.Stats) {
 	}
 	fmt.Fprintf(os.Stderr, "dgrid: %d experiments, %d shards (%d cached, %d computed) in %s\n",
 		stats.Experiments, stats.Shards, stats.Hits, stats.Misses, stats.Elapsed.Round(stats.Elapsed/100+1))
+	if stats.FlightHits > 0 || stats.FlightShared > 0 {
+		fmt.Fprintf(os.Stderr, "dgrid: single-flight: took %d shards from concurrent runs, handed %d to them\n",
+			stats.FlightHits, stats.FlightShared)
+	}
 }
 
 // cmdRun executes experiments and prints their reports in registry

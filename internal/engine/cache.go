@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -116,10 +117,15 @@ func (c *MemCache) Len() int {
 // subdirectory): the fold journals that make interrupted sweeps
 // resumable. Stats, Prune, and Clear cover both, so the retention caps
 // can never strand a manifest whose payloads were evicted.
+//
+// An optional in-memory tier (EnableMemTier) serves warm payloads
+// without touching the directory; disk stays the durable source of
+// truth and the tier is invalidated by Prune and Clear.
 type FileCache struct {
 	dir       string
 	manifests *ManifestStore
 	faults    *Faults
+	mem       *memTier
 }
 
 // NewFileCache creates (if needed) and opens a cache directory.
@@ -132,6 +138,31 @@ func NewFileCache(dir string) (*FileCache, error) {
 
 // Manifests returns the cache's fold-journal store.
 func (c *FileCache) Manifests() *ManifestStore { return c.manifests }
+
+// DefaultMemTierBytes bounds the in-memory payload tier the CLI
+// enables on every on-disk cache: generous enough to hold a whole warm
+// sweep's shards, small next to the fleets' own working set.
+const DefaultMemTierBytes int64 = 256 << 20 // 256 MiB
+
+// EnableMemTier adds a bounded-bytes LRU payload tier in front of the
+// directory: Get serves warm payloads from memory (filling on disk
+// reads), Put writes through, and Prune/Clear invalidate, so the tier
+// never vouches for bytes the directory no longer holds. maxBytes <= 0
+// leaves the cache disk-only.
+func (c *FileCache) EnableMemTier(maxBytes int64) {
+	if maxBytes > 0 {
+		c.mem = newMemTier(maxBytes)
+	}
+}
+
+// MemStats reports the in-memory tier's contents and lifetime
+// counters; ok is false when no tier is enabled.
+func (c *FileCache) MemStats() (st MemTierStats, ok bool) {
+	if c.mem == nil {
+		return MemTierStats{}, false
+	}
+	return c.mem.stats(), true
+}
 
 // SetFaults attaches a fault-injection plan to the payload write path
 // (tests only); the manifest store takes its own plan.
@@ -167,11 +198,21 @@ func (c *FileCache) hasPayloadHash(h string) bool {
 	return err == nil
 }
 
-// Get returns the stored payload.
+// Get returns the stored payload, serving from the in-memory tier when
+// enabled and filling it on disk reads.
 func (c *FileCache) Get(key string) ([]byte, bool) {
-	b, err := os.ReadFile(c.path(key))
+	stem := keyHash(key)
+	if c.mem != nil {
+		if b, ok := c.mem.get(stem); ok {
+			return b, true
+		}
+	}
+	b, err := os.ReadFile(filepath.Join(c.dir, stem+".json"))
 	if err != nil {
 		return nil, false
+	}
+	if c.mem != nil {
+		c.mem.add(stem, b)
 	}
 	return b, true
 }
@@ -199,6 +240,12 @@ func (c *FileCache) Put(key string, payload []byte) {
 	}
 	if err := os.Rename(name, dst); err != nil {
 		os.Remove(name)
+		return
+	}
+	if c.mem != nil {
+		// Write through only after the rename: the tier must never hold
+		// bytes the directory doesn't. Copy — the runner reuses buffers.
+		c.mem.add(keyHash(key), append([]byte(nil), payload...))
 	}
 }
 
@@ -227,6 +274,9 @@ type CacheStats struct {
 	Manifests     int
 	Resumable     int
 	ManifestBytes int64
+	// ActiveRuns counts the manifests whose run lock is fresh: runs in
+	// flight right now, which Prune protects and Clear refuses over.
+	ActiveRuns int
 }
 
 // Stats scans the cache directory.
@@ -257,16 +307,52 @@ func (c *FileCache) Stats() (CacheStats, error) {
 			st.Resumable++
 		}
 	}
+	active, err := c.manifests.ActiveRuns()
+	if err != nil {
+		return st, err
+	}
+	st.ActiveRuns = len(active)
 	return st, nil
+}
+
+// protectedHashes collects the payload key hashes the active runs'
+// manifests vouch for — bytes a concurrent Prune must not evict, or the
+// live folds those manifests journal would be stranded mid-run.
+func (c *FileCache) protectedHashes() (map[string]bool, error) {
+	active, err := c.manifests.ActiveRuns()
+	if err != nil {
+		return nil, err
+	}
+	if len(active) == 0 {
+		return nil, nil
+	}
+	protected := map[string]bool{}
+	for _, id := range active {
+		m, err := c.manifests.Load(id)
+		if err != nil || m == nil {
+			continue // racing the run's own Start; its payloads are brand new anyway
+		}
+		for _, rec := range m.Records {
+			protected[rec.KeyHash] = true
+		}
+	}
+	return protected, nil
 }
 
 // Prune removes entries older than maxAge and then, oldest first,
 // entries beyond maxBytes of total payload. Zero (or negative) caps
 // mean "no cap" for that dimension. It reports what it removed. Prune
 // is safe to run concurrently with readers and writers: a pruned entry
-// is just a future cache miss.
+// is just a future cache miss — except for payloads an active run's
+// manifest already vouches for, which are detected (via the run locks)
+// and skipped, since evicting one would truncate a journal that is
+// still being appended to.
 func (c *FileCache) Prune(maxAge time.Duration, maxBytes int64) (removed int, freed int64, err error) {
 	entries, err := c.entries()
+	if err != nil {
+		return 0, 0, err
+	}
+	protected, err := c.protectedHashes()
 	if err != nil {
 		return 0, 0, err
 	}
@@ -282,10 +368,17 @@ func (c *FileCache) Prune(maxAge time.Duration, maxBytes int64) (removed int, fr
 		if !tooOld && !tooBig {
 			break // entries are oldest-first; the rest are younger and under budget
 		}
+		stem := strings.TrimSuffix(filepath.Base(e.path), ".json")
+		if protected[stem] {
+			continue // an active run's fold depends on these bytes; still counts against the cap
+		}
 		if os.Remove(e.path) == nil {
 			removed++
 			freed += e.size
 			total -= e.size // an entry that survived removal still counts against the cap
+			if c.mem != nil {
+				c.mem.remove(stem)
+			}
 		}
 	}
 	// Evicting a payload invalidates every fold the manifests vouched
@@ -299,8 +392,17 @@ func (c *FileCache) Prune(maxAge time.Duration, maxBytes int64) (removed int, fr
 	return removed + mrem, freed + mfreed, nil
 }
 
-// Clear removes every entry and every manifest.
+// Clear removes every entry and every manifest. Unlike Prune there is
+// no way to clear "around" a live run — the manifests go too — so Clear
+// refuses outright while any run lock is fresh.
 func (c *FileCache) Clear() (removed int, freed int64, err error) {
+	active, err := c.manifests.ActiveRuns()
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(active) > 0 {
+		return 0, 0, fmt.Errorf("engine: cache clear: %d active run(s); retry when they finish (locks go stale after %s)", len(active), LockStaleAfter)
+	}
 	entries, err := c.entries()
 	if err != nil {
 		return 0, 0, err
@@ -310,6 +412,9 @@ func (c *FileCache) Clear() (removed int, freed int64, err error) {
 			removed++
 			freed += e.size
 		}
+	}
+	if c.mem != nil {
+		c.mem.clear()
 	}
 	mrem, mfreed, err := c.manifests.Clear()
 	if err != nil {

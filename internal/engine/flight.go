@@ -1,0 +1,86 @@
+package engine
+
+import "sync"
+
+// FlightGroup deduplicates concurrent shard computations across runs,
+// keyed by the shard's cache key. Within one run equal keys already
+// collapse into a single task, so the group matters exactly when
+// several Runner.Run calls overlap in time and in work — N tenants
+// asking the same question must cost ~1× the simulation, not N×.
+//
+// The first run to need a key becomes its leader and computes the
+// payload; runs arriving while the computation is in flight block and
+// receive the leader's bytes from memory (a FlightHit in their Stats,
+// a FlightShared in the leader's). The leader writes the payload to
+// the shard cache *before* publishing, so a run arriving after the
+// flight has landed finds the bytes as an ordinary cache hit — across
+// any interleaving, each key is computed at most once per process.
+//
+// Determinism is unaffected: RunShard is a pure function of (cfg,
+// shard), so the bytes a waiter receives are the bytes it would have
+// computed.
+type FlightGroup struct {
+	mu       sync.Mutex
+	inflight map[string]*flightCall
+}
+
+// flightCall is one in-flight computation.
+type flightCall struct {
+	done    chan struct{}
+	waiters int
+	payload []byte
+	err     error
+}
+
+// NewFlightGroup returns an empty group. Runs share flights by sharing
+// a group (usually via a shared Pool).
+func NewFlightGroup() *FlightGroup {
+	return &FlightGroup{inflight: map[string]*flightCall{}}
+}
+
+// lead either claims key's leadership (leader == true: the caller must
+// compute and then publish with complete, on error too) or joins an
+// existing flight (leader == false: wait on the returned call).
+func (g *FlightGroup) lead(key string) (c *flightCall, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.inflight[key]; ok {
+		c.waiters++
+		return c, false
+	}
+	c = &flightCall{done: make(chan struct{})}
+	g.inflight[key] = c
+	return c, true
+}
+
+// complete publishes the leader's result, releases every waiter, and
+// retires the flight; later arrivals for the key start a fresh one
+// (and, when the payload was cached, resolve it as a cache hit
+// instead). It returns the number of waiters served.
+func (g *FlightGroup) complete(key string, c *flightCall, payload []byte, err error) int {
+	g.mu.Lock()
+	c.payload, c.err = payload, err
+	n := c.waiters
+	delete(g.inflight, key)
+	g.mu.Unlock()
+	close(c.done)
+	return n
+}
+
+// wait blocks until the flight's leader publishes.
+func (c *flightCall) wait() ([]byte, error) {
+	<-c.done
+	return c.payload, c.err
+}
+
+// waitersFor reports how many runs are currently blocked on key's
+// flight (none when the key is not in flight). Tests use it to pin
+// overlap deterministically.
+func (g *FlightGroup) waitersFor(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.inflight[key]; ok {
+		return c.waiters
+	}
+	return 0
+}

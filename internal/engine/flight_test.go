@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// awaitWaiters polls until key has at least want blocked waiters, or
+// gives up after a generous deadline (the caller's assertions then
+// report the real failure).
+func awaitWaiters(g *FlightGroup, key string, want int) {
+	deadline := time.Now().Add(10 * time.Second)
+	for g.waitersFor(key) < want && time.Now().Before(deadline) {
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// TestFlightLeaderWaitersAndRetire exercises the group's lifecycle: one
+// leader per key, waiters counted and served the leader's bytes, and
+// the flight retired on complete so the next arrival leads afresh.
+func TestFlightLeaderWaitersAndRetire(t *testing.T) {
+	g := NewFlightGroup()
+	c, leader := g.lead("k")
+	if !leader {
+		t.Fatal("first arrival did not lead")
+	}
+
+	type got struct {
+		payload []byte
+		err     error
+	}
+	results := make(chan got, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			cc, lead := g.lead("k")
+			if lead {
+				t.Error("second arrival led an in-flight key")
+				g.complete("k", cc, nil, nil)
+				return
+			}
+			b, err := cc.wait()
+			results <- got{b, err}
+		}()
+	}
+	awaitWaiters(g, "k", 3)
+	if n := g.waitersFor("k"); n != 3 {
+		t.Fatalf("waitersFor = %d, want 3", n)
+	}
+	if n := g.complete("k", c, []byte("bytes"), nil); n != 3 {
+		t.Errorf("complete served %d waiters, want 3", n)
+	}
+	for i := 0; i < 3; i++ {
+		r := <-results
+		if r.err != nil || string(r.payload) != "bytes" {
+			t.Errorf("waiter got (%q, %v), want (bytes, nil)", r.payload, r.err)
+		}
+	}
+
+	if _, leader := g.lead("k"); !leader {
+		t.Error("completed flight was not retired: next arrival did not lead")
+	}
+}
+
+// TestFlightErrorPropagation verifies a failed computation reaches
+// every waiter as the leader's error.
+func TestFlightErrorPropagation(t *testing.T) {
+	g := NewFlightGroup()
+	c, _ := g.lead("bad")
+	errs := make(chan error, 1)
+	go func() {
+		cc, _ := g.lead("bad")
+		_, err := cc.wait()
+		errs <- err
+	}()
+	awaitWaiters(g, "bad", 1)
+	boom := errors.New("shard exploded")
+	g.complete("bad", c, nil, boom)
+	if err := <-errs; !errors.Is(err, boom) {
+		t.Errorf("waiter error = %v, want %v", err, boom)
+	}
+}

@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func touchFile(path string, mod time.Time) error { return os.Chtimes(path, mod, mod) }
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// TestPruneAndClearRespectActiveRuns is the maintenance-vs-run
+// regression test: while a fold journal is open (its run lock fresh),
+// Prune must not evict the payloads the journal vouches for and must
+// not touch the journal, and Clear must refuse outright; once the
+// journal closes, both proceed normally.
+func TestPruneAndClearRespectActiveRuns(t *testing.T) {
+	fc, err := NewFileCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg()
+	var keys, hashes []string
+	for i := 0; i < 3; i++ {
+		k := CacheKey("guard", cfg, i)
+		keys = append(keys, k)
+		hashes = append(hashes, keyHash(k))
+		fc.Put(k, []byte(`{"shard":`+string(rune('0'+i))+`}`))
+	}
+	id := manifestIdentity(hashes)
+	j, err := fc.Manifests().Start(id, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		b, _ := fc.Get(k)
+		if err := j.Append(i, hashes[i], payloadDigest(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st, err := fc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ActiveRuns != 1 {
+		t.Fatalf("ActiveRuns = %d with an open journal, want 1", st.ActiveRuns)
+	}
+
+	// A byte cap that would evict everything must skip the journaled
+	// payloads and leave the journal intact.
+	removed, _, err := fc.Prune(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 {
+		t.Errorf("Prune removed %d items from under an active run", removed)
+	}
+	for _, k := range keys {
+		if _, ok := fc.Get(k); !ok {
+			t.Fatalf("Prune evicted a payload the active run's journal vouches for")
+		}
+	}
+	m, err := fc.Manifests().Load(id)
+	if err != nil || m == nil || len(m.Records) != 3 {
+		t.Fatalf("active journal disturbed: m=%+v err=%v", m, err)
+	}
+
+	if _, _, err := fc.Clear(); err == nil {
+		t.Error("Clear succeeded over an active run")
+	} else if !strings.Contains(err.Error(), "active run") {
+		t.Errorf("Clear error %q does not name the active run", err)
+	}
+
+	// Closing the journal releases the lock; maintenance proceeds.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := fc.Stats(); st.ActiveRuns != 0 {
+		t.Fatalf("ActiveRuns = %d after Close, want 0", st.ActiveRuns)
+	}
+	if removed, _, err := fc.Clear(); err != nil || removed == 0 {
+		t.Fatalf("Clear after Close: removed=%d err=%v", removed, err)
+	}
+	for _, k := range keys {
+		if _, ok := fc.Get(k); ok {
+			t.Error("payload survived Clear")
+		}
+	}
+}
+
+// TestReconcileSkipsActiveAndCleansStaleLocks verifies the two lock
+// edge cases: a fresh lock shields its journal from truncation even
+// when a vouched payload is missing, and a stale lock (a run that died
+// without closing) stops shielding and is itself removed.
+func TestReconcileSkipsActiveAndCleansStaleLocks(t *testing.T) {
+	fc, err := NewFileCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := fc.Manifests()
+	k := CacheKey("stale", quickCfg(), 0)
+	h := keyHash(k)
+	fc.Put(k, []byte(`{}`))
+	b, _ := fc.Get(k)
+	id := manifestIdentity([]string{h})
+	j, err := store.Start(id, 2, nil) // 2 tasks: incomplete, resumable
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(0, h, payloadDigest(b)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Payload gone + lock fresh: Reconcile must leave the journal alone.
+	missing := func(string) bool { return false }
+	if _, _, err := store.Reconcile(missing, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := store.Load(id); m == nil || len(m.Records) != 1 {
+		t.Fatalf("Reconcile disturbed a locked journal: %+v", m)
+	}
+
+	// Simulate a crash: the journal never closes, the lock goes stale.
+	stale := time.Now().Add(-2 * LockStaleAfter)
+	if err := touchFile(store.lockPath(id), stale); err != nil {
+		t.Fatal(err)
+	}
+	if active, _ := store.ActiveRuns(); len(active) != 0 {
+		t.Fatalf("stale lock still counted active: %v", active)
+	}
+	if _, _, err := store.Reconcile(missing, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := store.Load(id); m != nil {
+		t.Errorf("journal with no valid payloads survived reconcile: %+v", m)
+	}
+	if fileExists(store.lockPath(id)) {
+		t.Error("stale lock file survived reconcile")
+	}
+}

@@ -53,6 +53,13 @@ const DefaultSyncEvery = 64
 // format version.
 var ErrManifestVersion = errors.New("engine: unsupported manifest version")
 
+// LockStaleAfter is how long an untouched run lock keeps counting as an
+// active run. An open journal touches its lock on every sync (at most
+// every SyncEvery records), so a lock this stale means the run died
+// without closing — typically a SIGKILL — and maintenance may proceed
+// over it; the next resume re-acquires cleanly.
+const LockStaleAfter = time.Hour
+
 // ManifestRecord is one folded task: its index in the run's canonical
 // task order, the payload's cache-file stem (hex SHA-256 of the cache
 // key — the same name the payload cache stores it under, so manifests
@@ -114,6 +121,67 @@ func (s *ManifestStore) SetFaults(f *Faults) { s.faults = f }
 
 func (s *ManifestStore) path(identity string) string {
 	return filepath.Join(s.dir, identity+manifestExt)
+}
+
+// Run locks mark journals that belong to a live run, so cache
+// maintenance (Prune, Clear, Reconcile) can detect and skip them
+// instead of racing the run's appends and payload reads. A lock is one
+// file per identity under the store's "locks" subdirectory, created by
+// Start, freshened (mtime) by every journal sync, and removed by
+// Finish and Close. Liveness is the file's mtime: older than
+// LockStaleAfter means the owning process is gone (see LockStaleAfter).
+
+func (s *ManifestStore) lockPath(identity string) string {
+	return filepath.Join(s.dir, "locks", identity+".lock")
+}
+
+// acquireLock marks identity's run live. Lock trouble never fails a
+// run — the lock is advisory, protecting the run from maintenance, not
+// the other way around.
+func (s *ManifestStore) acquireLock(identity string) {
+	path := s.lockPath(identity)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	os.WriteFile(path, []byte(fmt.Sprintf("%d\n", os.Getpid())), 0o644)
+}
+
+// touchLock freshens the lock's mtime so a long run never goes stale.
+func (s *ManifestStore) touchLock(identity string) {
+	now := time.Now()
+	os.Chtimes(s.lockPath(identity), now, now)
+}
+
+// releaseLock retires the lock when the journal closes.
+func (s *ManifestStore) releaseLock(identity string) {
+	os.Remove(s.lockPath(identity))
+}
+
+// ActiveRuns lists the identities whose run locks are fresh — runs a
+// maintenance pass must not disturb. Read-only: stale locks are
+// reported by omission here and cleaned up by Reconcile.
+func (s *ManifestStore) ActiveRuns() ([]string, error) {
+	dirents, err := os.ReadDir(filepath.Join(s.dir, "locks"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("engine: manifest locks: %w", err)
+	}
+	cutoff := time.Now().Add(-LockStaleAfter)
+	var out []string
+	for _, de := range dirents {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".lock") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil || info.ModTime().Before(cutoff) {
+			continue
+		}
+		out = append(out, strings.TrimSuffix(de.Name(), ".lock"))
+	}
+	sort.Strings(out)
+	return out, nil
 }
 
 func (s *ManifestStore) syncEvery() int {
@@ -262,6 +330,7 @@ type Journal struct {
 	store    *ManifestStore
 	f        *os.File
 	path     string
+	identity string
 	tasks    int
 	n        int // records in the file (kept prefix + appends)
 	unsynced int
@@ -286,7 +355,7 @@ func (s *ManifestStore) Start(identity string, tasks int, keep []ManifestRecord)
 	if err != nil {
 		return nil, fmt.Errorf("engine: manifest: %w", err)
 	}
-	j := &Journal{store: s, f: tmp, path: dst, tasks: tasks, n: len(keep)}
+	j := &Journal{store: s, f: tmp, path: dst, identity: identity, tasks: tasks, n: len(keep)}
 	abort := func(err error) (*Journal, error) {
 		tmp.Close()
 		os.Remove(tmp.Name())
@@ -315,6 +384,7 @@ func (s *ManifestStore) Start(identity string, tasks int, keep []ManifestRecord)
 	}
 	// The renamed fd stays valid for appends — no reopen window in
 	// which a concurrent run could swap the file underneath us.
+	s.acquireLock(identity)
 	return j, nil
 }
 
@@ -344,6 +414,7 @@ func (j *Journal) sync() error {
 		return err
 	}
 	j.unsynced = 0
+	j.store.touchLock(j.identity)
 	return j.f.Sync()
 }
 
@@ -367,6 +438,7 @@ func (j *Journal) Finish() error {
 	if cerr := j.f.Close(); err == nil {
 		err = cerr
 	}
+	j.store.releaseLock(j.identity)
 	return err
 }
 
@@ -381,6 +453,7 @@ func (j *Journal) Close() error {
 	if cerr := j.f.Close(); err == nil {
 		err = cerr
 	}
+	j.store.releaseLock(j.identity)
 	return err
 }
 
@@ -419,13 +492,29 @@ func (s *ManifestStore) List() ([]ManifestInfo, error) {
 // nothing valid remains, when it has aged past maxAge, or when it is
 // unparsable. has reports whether the payload file for a record's
 // KeyHash survives; maxAge <= 0 disables the age cap.
+//
+// Journals whose run lock is fresh are skipped entirely — their run is
+// live and appending, so truncating or removing them would race it.
+// Stale lock files (a run that died without closing) are removed here.
 func (s *ManifestStore) Reconcile(has func(keyHash string) bool, maxAge time.Duration) (removed int, freed int64, err error) {
 	files, err := s.files()
 	if err != nil {
 		return 0, 0, err
 	}
+	active, err := s.ActiveRuns()
+	if err != nil {
+		return 0, 0, err
+	}
+	live := make(map[string]bool, len(active))
+	for _, id := range active {
+		live[id] = true
+	}
+	s.sweepStaleLocks(live)
 	cutoff := time.Now().Add(-maxAge)
 	for _, f := range files {
+		if live[f.identity] {
+			continue
+		}
 		if maxAge > 0 && f.mod.Before(cutoff) {
 			if os.Remove(f.path) == nil {
 				removed++
@@ -466,6 +555,23 @@ func (s *ManifestStore) Reconcile(has func(keyHash string) bool, maxAge time.Dur
 		}
 	}
 	return removed, freed, nil
+}
+
+// sweepStaleLocks removes lock files whose run is no longer in the
+// live set — the leftovers of runs that died without closing.
+func (s *ManifestStore) sweepStaleLocks(live map[string]bool) {
+	dirents, err := os.ReadDir(filepath.Join(s.dir, "locks"))
+	if err != nil {
+		return
+	}
+	for _, de := range dirents {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".lock") {
+			continue
+		}
+		if id := strings.TrimSuffix(de.Name(), ".lock"); !live[id] {
+			os.Remove(s.lockPath(id))
+		}
+	}
 }
 
 // Clear removes every manifest.

@@ -1,0 +1,150 @@
+package engine
+
+import "sync"
+
+// memTier is the bounded-bytes LRU payload tier a FileCache can keep
+// above its directory: warm replays serve decoded-ready payload bytes
+// straight from memory, skipping the open/read per shard file. Disk
+// stays the durable source of truth — the tier is write-through on Put,
+// filled on read on Get, and invalidated entry-by-entry by Prune and
+// wholesale by Clear, so it can never vouch for bytes the directory no
+// longer holds. Entries are keyed by the payload file's stem (the hex
+// key hash), the same name Prune sees, so invalidation needs no
+// key-to-file mapping.
+//
+// All methods are safe for concurrent use.
+type memTier struct {
+	mu       sync.Mutex
+	max      int64
+	bytes    int64
+	entries  map[string]*memEntry
+	lru      memEntry // sentinel ring: lru.next is most recent
+	hits     uint64
+	misses   uint64
+	evicted  uint64
+	inserted uint64
+}
+
+// memEntry is one cached payload on the LRU ring.
+type memEntry struct {
+	stem       string
+	payload    []byte
+	prev, next *memEntry
+}
+
+func newMemTier(maxBytes int64) *memTier {
+	t := &memTier{max: maxBytes, entries: map[string]*memEntry{}}
+	t.lru.prev, t.lru.next = &t.lru, &t.lru
+	return t
+}
+
+func (t *memTier) unlink(e *memEntry) {
+	e.prev.next, e.next.prev = e.next, e.prev
+}
+
+func (t *memTier) pushFront(e *memEntry) {
+	e.prev, e.next = &t.lru, t.lru.next
+	e.prev.next, e.next.prev = e, e
+}
+
+// get returns the payload and refreshes its recency. The returned
+// slice is shared — callers treat payloads as read-only, exactly as
+// they treat the runner's shard payloads.
+func (t *memTier) get(stem string) ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[stem]
+	if !ok {
+		t.misses++
+		return nil, false
+	}
+	t.hits++
+	t.unlink(e)
+	t.pushFront(e)
+	return e.payload, true
+}
+
+// add inserts (or refreshes) a payload and evicts least-recently-used
+// entries until the tier fits its byte bound again. A payload larger
+// than the whole bound is not cached at all — it would only evict
+// everything else for a single entry that cannot amortize.
+func (t *memTier) add(stem string, payload []byte) {
+	if int64(len(payload)) > t.max {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.entries[stem]; ok {
+		t.bytes += int64(len(payload)) - int64(len(e.payload))
+		e.payload = payload
+		t.unlink(e)
+		t.pushFront(e)
+	} else {
+		e = &memEntry{stem: stem, payload: payload}
+		t.entries[stem] = e
+		t.pushFront(e)
+		t.bytes += int64(len(payload))
+		t.inserted++
+	}
+	for t.bytes > t.max {
+		last := t.lru.prev
+		t.unlink(last)
+		delete(t.entries, last.stem)
+		t.bytes -= int64(len(last.payload))
+		t.evicted++
+	}
+}
+
+// remove drops one entry (payload pruned from disk).
+func (t *memTier) remove(stem string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.entries[stem]; ok {
+		t.unlink(e)
+		delete(t.entries, stem)
+		t.bytes -= int64(len(e.payload))
+	}
+}
+
+// clear drops every entry (cache cleared).
+func (t *memTier) clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = map[string]*memEntry{}
+	t.lru.prev, t.lru.next = &t.lru, &t.lru
+	t.bytes = 0
+}
+
+// MemTierStats describes a FileCache's in-memory payload tier: its
+// current contents plus process-lifetime hit/miss/eviction counters
+// (serve-era dashboards scrape these through `dgrid cache -json`).
+type MemTierStats struct {
+	Entries   int
+	Bytes     int64
+	MaxBytes  int64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// HitRate is Hits over all lookups, 0 when the tier was never read.
+func (s MemTierStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+func (t *memTier) stats() MemTierStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return MemTierStats{
+		Entries:   len(t.entries),
+		Bytes:     t.bytes,
+		MaxBytes:  t.max,
+		Hits:      t.hits,
+		Misses:    t.misses,
+		Evictions: t.evicted,
+	}
+}

@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMemTierLRUEviction exercises the tier in isolation: byte-bounded
+// LRU order, oversize skip, removal, clear, and the stats counters.
+func TestMemTierLRUEviction(t *testing.T) {
+	tier := newMemTier(10)
+	tier.add("a", []byte("aaaa"))
+	tier.add("b", []byte("bbbb"))
+	if _, ok := tier.get("a"); !ok { // refresh: "b" is now the LRU entry
+		t.Fatal("warm entry missed")
+	}
+	tier.add("c", []byte("cccc")) // 12 bytes > 10: evicts "b"
+	if _, ok := tier.get("b"); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	for _, stem := range []string{"a", "c"} {
+		if _, ok := tier.get(stem); !ok {
+			t.Errorf("entry %q evicted out of LRU order", stem)
+		}
+	}
+
+	tier.add("huge", make([]byte, 11)) // larger than the whole bound
+	if _, ok := tier.get("huge"); ok {
+		t.Error("oversize payload was cached")
+	}
+
+	tier.remove("a")
+	if _, ok := tier.get("a"); ok {
+		t.Error("removed entry still served")
+	}
+
+	st := tier.stats()
+	if st.Entries != 1 || st.Bytes != 4 || st.MaxBytes != 10 {
+		t.Errorf("stats = %+v, want 1 entry / 4 bytes / max 10", st)
+	}
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Hits == 0 || st.Misses == 0 || st.HitRate() <= 0 || st.HitRate() >= 1 {
+		t.Errorf("counters hits=%d misses=%d rate=%f look wrong", st.Hits, st.Misses, st.HitRate())
+	}
+
+	tier.clear()
+	if st := tier.stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("after clear: %d entries, %d bytes", st.Entries, st.Bytes)
+	}
+}
+
+// TestFileCacheMemTierServesAndInvalidates pins the FileCache wiring:
+// Put writes through, Get serves from memory even after the backing
+// file is gone, disk reads fill the tier, and Prune/Clear invalidate.
+func TestFileCacheMemTierServesAndInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	fc, err := NewFileCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc.EnableMemTier(1 << 20)
+	cfg := quickCfg()
+
+	// Write-through: the payload survives losing its file.
+	k0 := CacheKey("memtier", cfg, 0)
+	fc.Put(k0, []byte(`{"v":0}`))
+	if err := os.Remove(filepath.Join(dir, keyHash(k0)+".json")); err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := fc.Get(k0); !ok || string(b) != `{"v":0}` {
+		t.Fatalf("mem tier did not serve after file removal: ok=%v payload=%s", ok, b)
+	}
+
+	// Fill-on-read: a cold tier warms from the disk read.
+	k1 := CacheKey("memtier", cfg, 1)
+	fc.Put(k1, []byte(`{"v":1}`))
+	fc2, err := NewFileCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc2.EnableMemTier(1 << 20)
+	if _, ok := fc2.Get(k1); !ok {
+		t.Fatal("disk entry missed")
+	}
+	if err := os.Remove(filepath.Join(dir, keyHash(k1)+".json")); err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := fc2.Get(k1); !ok || string(b) != `{"v":1}` {
+		t.Fatal("tier was not filled by the disk read")
+	}
+	if st, ok := fc2.MemStats(); !ok || st.Hits == 0 {
+		t.Errorf("MemStats = %+v, %v; want at least one hit", st, ok)
+	}
+
+	// Prune invalidates entry-by-entry: the pruned payload must miss,
+	// not be served from stale memory.
+	k2 := CacheKey("memtier", cfg, 2)
+	fc.Put(k2, []byte(`{"v":2}`))
+	if _, ok := fc.Get(k2); !ok {
+		t.Fatal("fresh entry missed")
+	}
+	if _, _, err := fc.Prune(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fc.Get(k2); ok {
+		t.Error("pruned entry still served from the mem tier")
+	}
+
+	// Clear invalidates wholesale — including entries whose file was
+	// already gone.
+	if _, ok := fc.Get(k0); !ok {
+		t.Fatal("k0 should still be in memory")
+	}
+	if _, _, err := fc.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fc.Get(k0); ok {
+		t.Error("cleared entry still served from the mem tier")
+	}
+}
+
+// TestFileCacheWithoutMemTier pins the default: no tier, MemStats
+// reports absence, Get/Put stay purely disk-backed.
+func TestFileCacheWithoutMemTier(t *testing.T) {
+	dir := t.TempDir()
+	fc, err := NewFileCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fc.MemStats(); ok {
+		t.Error("MemStats reported a tier that was never enabled")
+	}
+	key := CacheKey("notier", quickCfg(), 0)
+	fc.Put(key, []byte(`{}`))
+	if err := os.Remove(filepath.Join(dir, keyHash(key)+".json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fc.Get(key); ok {
+		t.Error("disk-only cache served a removed file")
+	}
+}

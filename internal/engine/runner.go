@@ -24,6 +24,12 @@ type Stats struct {
 	// the fold replays them without simulation. Zero when the run has
 	// no manifest store or no matching manifest.
 	Resumed int
+	// FlightHits counts the tasks this run received from another run's
+	// in-flight computation (single-flight dedup; a subset of Hits).
+	// FlightShared counts the deliveries of this run's computed
+	// payloads to runs that were waiting on them. Both are zero unless
+	// runs share a FlightGroup — directly or through a shared Pool.
+	FlightHits, FlightShared int
 	// Elapsed is the wall-clock duration of the whole run.
 	Elapsed time.Duration
 }
@@ -60,8 +66,24 @@ type Event struct {
 
 // Runner executes experiments across a worker pool.
 type Runner struct {
-	// Workers is the pool size; <= 0 means GOMAXPROCS.
+	// Workers is the private pool size; <= 0 means GOMAXPROCS. Ignored
+	// for execution when Pool is set (the shared pool's worker bound
+	// governs), but still consulted for span/window sizing when
+	// positive.
 	Workers int
+	// Pool, if non-nil, executes this run's spans on a shared worker
+	// pool instead of private goroutines: concurrent Run calls on the
+	// same Pool split its workers fairly (round-robin over runs)
+	// rather than oversubscribing the machine, and share its
+	// single-flight group. Fold order, the reorder window, and
+	// manifest journaling are per-run and unaffected.
+	Pool *Pool
+	// Flights, if non-nil, dedupes in-flight shard computations with
+	// every other run sharing the same group. Defaults to the Pool's
+	// group when a Pool is set; nil without a Pool means no cross-run
+	// dedup (a single run never needs it — equal keys already collapse
+	// into one task).
+	Flights *FlightGroup
 	// Cache, if non-nil, supplies and stores shard payloads.
 	Cache Cache
 	// Manifests, if non-nil (and Cache is set), makes the fold durable:
@@ -76,6 +98,14 @@ type Runner struct {
 	// deterministic task order for every worker count, so
 	// implementations need no locking.
 	OnEvent func(Event)
+
+	// Test hooks (in-package concurrency tests only). taskGate is
+	// called at the start of every task, before the cache lookup;
+	// leadGate is called after the run claims a flight's leadership,
+	// before it computes. Both receive the task's cache key and let
+	// tests pin the interleaving of concurrent runs deterministically.
+	taskGate func(key string)
+	leadGate func(key string)
 }
 
 // ShardScoper lets an experiment give each shard its own cache scope.
@@ -174,14 +204,30 @@ func reorderWindow(workers, chunk int) int {
 }
 
 // ResolvedWorkers reports the pool size a Run call will actually use:
-// Workers when positive, otherwise GOMAXPROCS at call time. The bench
-// harness records it so benchmark artifacts carry the real worker
-// count rather than the unresolved zero.
+// Workers when positive, then the shared Pool's bound when one is set,
+// otherwise GOMAXPROCS at call time. The bench harness records it so
+// benchmark artifacts carry the real worker count rather than the
+// unresolved zero.
 func (r *Runner) ResolvedWorkers() int {
 	if r.Workers > 0 {
 		return r.Workers
 	}
+	if r.Pool != nil {
+		return r.Pool.Workers()
+	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// flights resolves the single-flight group this run dedupes through:
+// the explicit one, else the shared Pool's, else none.
+func (r *Runner) flights() *FlightGroup {
+	if r.Flights != nil {
+		return r.Flights
+	}
+	if r.Pool != nil {
+		return r.Pool.Flights()
+	}
+	return nil
 }
 
 // Run executes every shard of every experiment on the pool and merges
@@ -272,11 +318,12 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 	}
 
 	var (
-		hits, misses atomic.Int64
-		failed       atomic.Bool
-		errMu        sync.Mutex
-		firstErr     error
-		firstErrAt   = len(tasks)
+		hits, misses             atomic.Int64
+		flightHits, flightShared atomic.Int64
+		failed                   atomic.Bool
+		errMu                    sync.Mutex
+		firstErr                 error
+		firstErrAt               = len(tasks)
 	)
 	fail := func(at int, err error) {
 		failed.Store(true)
@@ -295,8 +342,97 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 	for i := 0; i < window; i++ {
 		permits <- struct{}{}
 	}
-	ch := make(chan span)
 	results := make(chan taskResult, window)
+	flights := r.flights()
+
+	// runTask resolves one task — cache, single-flight, or compute —
+	// and reports its payload to the collector. The results channel's
+	// capacity equals the permit window, so the send can never block: a
+	// worker (shared-pool or private) always finishes a task without
+	// parking on the collector.
+	runTask := func(ti int) {
+		if failed.Load() {
+			results <- taskResult{ti: ti}
+			return
+		}
+		t := tasks[ti]
+		// Any destination computes the same payload; run the first and
+		// let the collector fan the bytes out.
+		first := t.dests[0]
+		e := exps[first.exp]
+		if r.taskGate != nil {
+			r.taskGate(t.key)
+		}
+		if r.Cache != nil {
+			if b, ok := r.Cache.Get(t.key); ok {
+				hits.Add(int64(len(t.dests)))
+				results <- taskResult{ti: ti, payload: b, cached: true}
+				return
+			}
+		}
+		var fc *flightCall
+		if flights != nil {
+			c, leader := flights.lead(t.key)
+			if !leader {
+				// Another run is computing this payload right now: take
+				// its bytes instead of simulating them again.
+				b, err := c.wait()
+				if err != nil {
+					fail(ti, fmt.Errorf("engine: %s shard %d (shared in-flight): %w", e.Name(), first.shard, err))
+					results <- taskResult{ti: ti}
+					return
+				}
+				hits.Add(int64(len(t.dests)))
+				flightHits.Add(1)
+				results <- taskResult{ti: ti, payload: b, cached: true}
+				return
+			}
+			fc = c
+			if r.leadGate != nil {
+				r.leadGate(t.key)
+			}
+			// Leaders re-check the cache: between this run's miss above
+			// and its leadership, a previous flight may have landed and
+			// left its payload behind. The re-check is what guarantees
+			// each key is computed at most once per process no matter
+			// how runs interleave.
+			if r.Cache != nil {
+				if b, ok := r.Cache.Get(t.key); ok {
+					flightShared.Add(int64(flights.complete(t.key, fc, b, nil)))
+					hits.Add(int64(len(t.dests)))
+					results <- taskResult{ti: ti, payload: b, cached: true}
+					return
+				}
+			}
+		}
+		b, err := e.RunShard(cfg, first.shard)
+		if err != nil {
+			if fc != nil {
+				flights.complete(t.key, fc, nil, err)
+			}
+			fail(ti, fmt.Errorf("engine: %s shard %d: %w", e.Name(), first.shard, err))
+			results <- taskResult{ti: ti}
+			return
+		}
+		misses.Add(1)
+		// The extra destinations were supplied without compute: count
+		// them as hits so hits+misses always equals the slot total.
+		hits.Add(int64(len(t.dests) - 1))
+		// Cache before publish: a run that misses the flight must then
+		// hit the cache, never recompute.
+		if r.Cache != nil {
+			r.Cache.Put(t.key, b)
+		}
+		if fc != nil {
+			flightShared.Add(int64(flights.complete(t.key, fc, b, nil)))
+		}
+		results <- taskResult{ti: ti, payload: b}
+	}
+	execSpan := func(sp span) {
+		for ti := sp.lo; ti < sp.hi; ti++ {
+			runTask(ti)
+		}
+	}
 
 	// Feeder: dispatches contiguous spans of the task list in index
 	// order, acquiring one permit per task before a span goes out, so
@@ -306,61 +442,56 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 	// schedule: a worker owns a contiguous shard range at a time, so its
 	// recycled arena stays warm on one scenario and its results land
 	// next to each other in the fold.
-	go func() {
-		for lo := 0; lo < len(tasks); lo += chunk {
-			hi := lo + chunk
-			if hi > len(tasks) {
-				hi = len(tasks)
-			}
-			for i := lo; i < hi; i++ {
-				<-permits
-			}
-			ch <- span{lo, hi}
-		}
-		close(ch)
-	}()
-
+	//
+	// With a shared Pool the same feeder submits each permit-backed span
+	// to this run's pool queue instead of a private channel; the pool's
+	// round-robin decides which run a freed worker serves next, while
+	// the permit flow keeps this run's outstanding work window-bounded
+	// either way.
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
+	if r.Pool != nil {
+		pr := r.Pool.register()
 		go func() {
-			defer wg.Done()
-			for sp := range ch {
-				for ti := sp.lo; ti < sp.hi; ti++ {
-					if failed.Load() {
-						results <- taskResult{ti: ti}
-						continue
-					}
-					t := tasks[ti]
-					// Any destination computes the same payload; run the
-					// first and let the collector fan the bytes out.
-					first := t.dests[0]
-					e := exps[first.exp]
-					if r.Cache != nil {
-						if b, ok := r.Cache.Get(t.key); ok {
-							hits.Add(int64(len(t.dests)))
-							results <- taskResult{ti: ti, payload: b, cached: true}
-							continue
-						}
-					}
-					b, err := e.RunShard(cfg, first.shard)
-					if err != nil {
-						fail(ti, fmt.Errorf("engine: %s shard %d: %w", e.Name(), first.shard, err))
-						results <- taskResult{ti: ti}
-						continue
-					}
-					misses.Add(1)
-					// The extra destinations were supplied without compute:
-					// count them as hits so hits+misses always equals the
-					// slot total.
-					hits.Add(int64(len(t.dests) - 1))
-					if r.Cache != nil {
-						r.Cache.Put(t.key, b)
-					}
-					results <- taskResult{ti: ti, payload: b}
+			for lo := 0; lo < len(tasks); lo += chunk {
+				hi := lo + chunk
+				if hi > len(tasks) {
+					hi = len(tasks)
 				}
+				for i := lo; i < hi; i++ {
+					<-permits
+				}
+				sp := span{lo, hi}
+				wg.Add(1)
+				pr.submit(func() {
+					defer wg.Done()
+					execSpan(sp)
+				})
 			}
 		}()
+	} else {
+		ch := make(chan span)
+		go func() {
+			for lo := 0; lo < len(tasks); lo += chunk {
+				hi := lo + chunk
+				if hi > len(tasks) {
+					hi = len(tasks)
+				}
+				for i := lo; i < hi; i++ {
+					<-permits
+				}
+				ch <- span{lo, hi}
+			}
+			close(ch)
+		}()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for sp := range ch {
+					execSpan(sp)
+				}
+			}()
+		}
 	}
 
 	// Collector: re-establishes task order behind the pool and folds the
@@ -426,11 +557,13 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 	wg.Wait()
 
 	stats := Stats{
-		Experiments: len(exps),
-		Shards:      nSlots,
-		Hits:        int(hits.Load()),
-		Misses:      int(misses.Load()),
-		Resumed:     resumed,
+		Experiments:  len(exps),
+		Shards:       nSlots,
+		Hits:         int(hits.Load()),
+		Misses:       int(misses.Load()),
+		Resumed:      resumed,
+		FlightHits:   int(flightHits.Load()),
+		FlightShared: int(flightShared.Load()),
 	}
 	if failed.Load() {
 		stats.Elapsed = time.Since(start)
