@@ -8,44 +8,8 @@ import (
 	"time"
 
 	"vmdg/internal/engine"
+	"vmdg/internal/serve"
 )
-
-// cacheReport is the -json schema of `dgrid cache`: the on-disk tier,
-// the fold manifests, and the in-memory payload tier (populated for
-// this process, so a fresh CLI invocation reports it empty — the
-// counters matter to long-lived embedders scraping the same struct).
-type cacheReport struct {
-	Dir           string          `json:"dir"`
-	Entries       int             `json:"entries"`
-	Bytes         int64           `json:"bytes"`
-	OldestUnix    int64           `json:"oldest_unix,omitempty"`
-	NewestUnix    int64           `json:"newest_unix,omitempty"`
-	ActiveRuns    int             `json:"active_runs"`
-	Manifests     int             `json:"manifests"`
-	Resumable     int             `json:"resumable"`
-	ManifestBytes int64           `json:"manifest_bytes"`
-	List          []cacheManifest `json:"manifest_list,omitempty"`
-	Mem           *memReport      `json:"mem,omitempty"`
-}
-
-type cacheManifest struct {
-	Identity string `json:"identity"`
-	Tasks    int    `json:"tasks"`
-	Cursor   int    `json:"cursor"`
-	Complete bool   `json:"complete"`
-	Torn     bool   `json:"torn"`
-}
-
-// memReport mirrors engine.MemTierStats in snake_case.
-type memReport struct {
-	Entries   int     `json:"entries"`
-	Bytes     int64   `json:"bytes"`
-	MaxBytes  int64   `json:"max_bytes"`
-	Hits      uint64  `json:"hits"`
-	Misses    uint64  `json:"misses"`
-	Evictions uint64  `json:"evictions"`
-	HitRate   float64 `json:"hit_rate"`
-}
 
 // cmdCache inspects and maintains the on-disk shard cache. Without
 // flags it prints the cache location and contents; -prune applies the
@@ -104,41 +68,12 @@ func cmdCache(args []string) error {
 		fmt.Fprintf(opOut, "pruned %d entries (%s) from %s\n", removed, formatBytes(freed), fc.Dir())
 	}
 
-	st, err := fc.Stats()
-	if err != nil {
-		return err
-	}
-	mis, err := fc.Manifests().List()
-	if err != nil {
-		return err
-	}
-
+	// The -json report shares its schema (and builder) with the serve
+	// daemon's GET /v1/cache, so scrapers see one format everywhere.
 	if *jsonOut {
-		rep := cacheReport{
-			Dir:           fc.Dir(),
-			Entries:       st.Entries,
-			Bytes:         st.Bytes,
-			ActiveRuns:    st.ActiveRuns,
-			Manifests:     st.Manifests,
-			Resumable:     st.Resumable,
-			ManifestBytes: st.ManifestBytes,
-		}
-		if !st.Oldest.IsZero() {
-			rep.OldestUnix = st.Oldest.Unix()
-			rep.NewestUnix = st.Newest.Unix()
-		}
-		for _, mi := range mis {
-			rep.List = append(rep.List, cacheManifest{
-				Identity: mi.Identity, Tasks: mi.Tasks, Cursor: mi.Cursor,
-				Complete: mi.Complete, Torn: mi.Torn,
-			})
-		}
-		if ms, ok := fc.MemStats(); ok {
-			rep.Mem = &memReport{
-				Entries: ms.Entries, Bytes: ms.Bytes, MaxBytes: ms.MaxBytes,
-				Hits: ms.Hits, Misses: ms.Misses, Evictions: ms.Evictions,
-				HitRate: ms.HitRate(),
-			}
+		rep, err := serve.BuildCacheReport(fc)
+		if err != nil {
+			return err
 		}
 		b, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -147,6 +82,15 @@ func cmdCache(args []string) error {
 		b = append(b, '\n')
 		os.Stdout.Write(b)
 		return nil
+	}
+
+	st, err := fc.Stats()
+	if err != nil {
+		return err
+	}
+	mis, err := fc.Manifests().List()
+	if err != nil {
+		return err
 	}
 
 	fmt.Printf("cache %s: %d entries, %s", fc.Dir(), st.Entries, formatBytes(st.Bytes))

@@ -28,6 +28,7 @@ type fleetOpts struct {
 	csv     bool
 	out     string
 	verbose bool
+	quiet   bool
 }
 
 // parseFleetArgs parses and validates the fleet command line. Flag
@@ -59,6 +60,7 @@ func parseFleetArgs(args []string) (*fleetOpts, error) {
 	csv := fs.Bool("csv", false, "emit CSV instead of the table")
 	out := fs.String("out", "", "also write fleet.json and fleet.csv artifacts to this directory")
 	verbose := fs.Bool("v", false, "log per-shard progress to stderr")
+	quiet := fs.Bool("quiet", false, "suppress progress and summary lines on stderr")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil, err
@@ -113,6 +115,7 @@ func parseFleetArgs(args []string) (*fleetOpts, error) {
 		csv:     *csv,
 		out:     *out,
 		verbose: *verbose,
+		quiet:   *quiet,
 	}, nil
 }
 
@@ -136,7 +139,7 @@ func cmdFleet(args []string) error {
 	if err != nil {
 		return err
 	}
-	if !o.verbose {
+	if !o.verbose && !o.quiet {
 		runner.OnEvent = progressLine("fleet")
 	}
 	// The config takes the flag values directly (not the normalized
@@ -162,7 +165,9 @@ func cmdFleet(args []string) error {
 			return err
 		}
 	}
-	summarize(stats)
+	if !o.quiet {
+		summarize(stats)
+	}
 	return nil
 }
 

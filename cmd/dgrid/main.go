@@ -25,6 +25,9 @@
 //	                                # fleet throughput benchmark artifact
 //	dgrid cache -prune              # shard-cache retention maintenance
 //	dgrid cache                     # cache contents + resumable manifests
+//	dgrid serve -addr :8787         # sweep daemon: POST /v1/sweeps, shared
+//	                                # pool/cache/single-flight across clients
+//	dgrid version                   # build identity (matches /healthz)
 //
 // Experiment runs are deterministic per seed and independent of the
 // worker count: `dgrid run all -workers 1` and `-workers 8` emit
@@ -76,6 +79,10 @@ func main() {
 		err = cmdBench(os.Args[2:])
 	case "cache":
 		err = cmdCache(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "version":
+		err = cmdVersion(os.Args[2:])
 	case "help", "-h", "-help", "--help":
 		usage(os.Stdout)
 	default:
@@ -121,6 +128,8 @@ commands:
   sweep            run a declarative scenario sweep (spec file / -set axes)
   bench            benchmark the fleet pipeline, write BENCH_fleet.json
   cache            show, prune, or clear the on-disk shard cache
+  serve            serve sweeps over HTTP from one shared pool and cache
+  version          print the build identity (module version, VCS revision)
   help             show this message
 
 run 'dgrid <command> -h' for the command's flags

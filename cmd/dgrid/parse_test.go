@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"vmdg/internal/grid"
 )
@@ -192,5 +193,50 @@ func TestParseSweepErrors(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.wantErr) {
 			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
 		}
+	}
+}
+
+// TestParseQuietFlag: -quiet lands on every command that draws
+// progress/summary lines.
+func TestParseQuietFlag(t *testing.T) {
+	fo, err := parseFleetArgs([]string{"-quiet"})
+	if err != nil || !fo.quiet {
+		t.Fatalf("fleet -quiet: %+v, %v", fo, err)
+	}
+	so, err := parseSweepArgs([]string{"-quiet"})
+	if err != nil || !so.quiet {
+		t.Fatalf("sweep -quiet: %+v, %v", so, err)
+	}
+	if fo2, _ := parseFleetArgs(nil); fo2.quiet {
+		t.Fatal("fleet is quiet by default")
+	}
+}
+
+// TestParseServeArgs: defaults, overrides, and the rejections that keep
+// the daemon coherent (it exists to share a cache).
+func TestParseServeArgs(t *testing.T) {
+	o, err := parseServeArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != "127.0.0.1:8787" || !o.resume || o.maxRuns != 0 || o.drain <= 0 {
+		t.Fatalf("serve defaults: %+v", o)
+	}
+	o, err = parseServeArgs([]string{
+		"-addr", ":9000", "-cache", "/tmp/c", "-workers", "4",
+		"-max-runs", "2", "-drain", "5s", "-resume=false",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":9000" || o.cache != "/tmp/c" || o.workers != 4 ||
+		o.maxRuns != 2 || o.drain != 5*time.Second || o.resume {
+		t.Fatalf("serve flags not applied: %+v", o)
+	}
+	if _, err := parseServeArgs([]string{"-cache", "off"}); err == nil {
+		t.Fatal("serve accepted -cache off")
+	}
+	if _, err := parseServeArgs([]string{"positional"}); err == nil {
+		t.Fatal("serve accepted positional arguments")
 	}
 }

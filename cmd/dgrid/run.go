@@ -20,6 +20,7 @@ type runFlags struct {
 	cache   string
 	resume  bool
 	verbose bool
+	quiet   bool
 }
 
 func (f *runFlags) register(fs *flag.FlagSet) {
@@ -30,6 +31,7 @@ func (f *runFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&f.cache, "cache", "", "shard cache directory; 'off' disables (default: the user cache dir)")
 	fs.BoolVar(&f.resume, "resume", true, "journal fold progress and resume an interrupted identical run (needs the cache)")
 	fs.BoolVar(&f.verbose, "v", false, "log per-shard progress to stderr")
+	fs.BoolVar(&f.quiet, "quiet", false, "suppress progress and summary lines on stderr")
 }
 
 func (f *runFlags) config() core.Config {
@@ -161,7 +163,9 @@ func cmdRun(args []string) error {
 			return err
 		}
 	}
-	summarize(stats)
+	if !rf.quiet {
+		summarize(stats)
+	}
 	return nil
 }
 
@@ -223,6 +227,8 @@ func cmdReport(args []string) error {
 	} else if err := os.WriteFile(*out, []byte(md), 0o644); err != nil {
 		return err
 	}
-	summarize(stats)
+	if !rf.quiet {
+		summarize(stats)
+	}
 	return nil
 }

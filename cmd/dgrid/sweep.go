@@ -33,6 +33,7 @@ type sweepOpts struct {
 	csv     bool
 	out     string
 	verbose bool
+	quiet   bool
 }
 
 // parseSweepArgs parses the sweep command line into a validated spec:
@@ -53,6 +54,7 @@ func parseSweepArgs(args []string) (*sweepOpts, error) {
 	csv := fs.Bool("csv", false, "emit CSV instead of the table")
 	out := fs.String("out", "", "also write sweep.json and sweep.csv artifacts to this directory")
 	verbose := fs.Bool("v", false, "log per-shard progress to stderr")
+	quiet := fs.Bool("quiet", false, "suppress progress and summary lines on stderr")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: dgrid sweep [-spec file.json] [-set axis=v1,v2,...] [flags]\n\n"+
 			"a spec describes a family of fleet scenarios; every multi-value axis is swept\n"+
@@ -104,6 +106,7 @@ func parseSweepArgs(args []string) (*sweepOpts, error) {
 		csv:     *csv,
 		out:     *out,
 		verbose: *verbose,
+		quiet:   *quiet,
 	}, nil
 }
 
@@ -128,13 +131,13 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
-	if !o.verbose {
+	if !o.verbose && !o.quiet {
 		runner.OnEvent = progressLine("sweep")
 	}
 	// The spec governs seed and quick: copy them into the run config
 	// so cache keys and scenario resolution agree.
 	cfg := core.Config{Seed: sp.Seed, Quick: sp.Quick}
-	if axes := sp.SweptAxes(); len(axes) > 0 {
+	if axes := sp.SweptAxes(); len(axes) > 0 && !o.quiet {
 		fmt.Fprintf(os.Stderr, "dgrid: sweeping %d points over %s\n", sp.NPoints(), strings.Join(axes, " × "))
 	}
 	outcomes, stats, err := runner.Run(cfg, []engine.Experiment{exp})
@@ -155,6 +158,8 @@ func cmdSweep(args []string) error {
 			return err
 		}
 	}
-	summarize(stats)
+	if !o.quiet {
+		summarize(stats)
+	}
 	return nil
 }

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+
+	"vmdg/internal/serve"
+)
+
+// cmdVersion prints the build identity — the same string GET /healthz
+// returns, so a daemon and its CLI can be matched exactly.
+func cmdVersion(args []string) error {
+	fs := flag.NewFlagSet("dgrid version", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("dgrid %s %s\n", serve.Version(), runtime.Version())
+	return nil
+}

@@ -1,6 +1,10 @@
 package engine
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"sync"
+)
 
 // FlightGroup deduplicates concurrent shard computations across runs,
 // keyed by the shard's cache key. Within one run equal keys already
@@ -67,10 +71,41 @@ func (g *FlightGroup) complete(key string, c *flightCall, payload []byte, err er
 	return n
 }
 
-// wait blocks until the flight's leader publishes.
-func (c *flightCall) wait() ([]byte, error) {
-	<-c.done
-	return c.payload, c.err
+// errFlightRetired is how a canceled leader hands a key back without
+// poisoning its waiters: it never computed the payload, so waiters that
+// still need it re-contend for leadership (after re-checking the cache)
+// instead of failing their runs.
+var errFlightRetired = errors.New("engine: flight retired by canceled leader")
+
+// retire releases a flight the leader will not compute — its run was
+// canceled between claiming leadership and simulating. Waiters receive
+// errFlightRetired and restart the lead/wait cycle.
+func (g *FlightGroup) retire(key string, c *flightCall) {
+	g.complete(key, c, nil, errFlightRetired)
+}
+
+// abandon withdraws a canceled waiter from a flight still in progress,
+// so the leader's FlightShared count reflects only deliveries someone
+// received. A no-op once the flight completed or was replaced.
+func (g *FlightGroup) abandon(key string, c *flightCall) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if cur, ok := g.inflight[key]; ok && cur == c {
+		cur.waiters--
+	}
+}
+
+// wait blocks until the flight's leader publishes, or the waiter's own
+// context ends — a disconnected tenant must not stay parked on work
+// another run is doing. A waiter that returns on its context must
+// abandon the call.
+func (c *flightCall) wait(ctx context.Context) ([]byte, error) {
+	select {
+	case <-c.done:
+		return c.payload, c.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // waitersFor reports how many runs are currently blocked on key's

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -39,7 +40,7 @@ func TestFlightLeaderWaitersAndRetire(t *testing.T) {
 				g.complete("k", cc, nil, nil)
 				return
 			}
-			b, err := cc.wait()
+			b, err := cc.wait(context.Background())
 			results <- got{b, err}
 		}()
 	}
@@ -70,7 +71,7 @@ func TestFlightErrorPropagation(t *testing.T) {
 	errs := make(chan error, 1)
 	go func() {
 		cc, _ := g.lead("bad")
-		_, err := cc.wait()
+		_, err := cc.wait(context.Background())
 		errs <- err
 	}()
 	awaitWaiters(g, "bad", 1)

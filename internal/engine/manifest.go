@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -52,6 +53,13 @@ const DefaultSyncEvery = 64
 // ErrManifestVersion reports a journal written by an incompatible
 // format version.
 var ErrManifestVersion = errors.New("engine: unsupported manifest version")
+
+// ErrManifestBusy reports that another run in this process holds the
+// identity's journal open right now. Identical identities fold the
+// identical task list, so the concurrent run's journal records exactly
+// what this run's would; the runner reacts by proceeding un-journaled
+// rather than racing two writers over one file.
+var ErrManifestBusy = errors.New("engine: manifest journal busy (identical run in flight)")
 
 // LockStaleAfter is how long an untouched run lock keeps counting as an
 // active run. An open journal touches its lock on every sync (at most
@@ -107,11 +115,40 @@ type ManifestStore struct {
 	// SyncEvery overrides the fsync cadence; 0 means DefaultSyncEvery,
 	// negative means sync only at close.
 	SyncEvery int
+
+	// open tracks the identities with a live Journal in this process,
+	// so concurrent identical runs (the serve daemon's tenants) never
+	// append to one journal file from two writers: Start refuses the
+	// second opener with ErrManifestBusy.
+	mu   sync.Mutex
+	open map[string]bool
 }
 
 // NewManifestStore opens a store rooted at dir. The directory is
 // created on first write, so read-only use never dirties the cache.
 func NewManifestStore(dir string) *ManifestStore { return &ManifestStore{dir: dir} }
+
+// tryOpen claims in-process ownership of identity's journal.
+func (s *ManifestStore) tryOpen(identity string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.open[identity] {
+		return false
+	}
+	if s.open == nil {
+		s.open = map[string]bool{}
+	}
+	s.open[identity] = true
+	return true
+}
+
+// closeOpen releases in-process ownership (journal closed or Start
+// aborted).
+func (s *ManifestStore) closeOpen(identity string) {
+	s.mu.Lock()
+	delete(s.open, identity)
+	s.mu.Unlock()
+}
 
 // Dir returns the store directory.
 func (s *ManifestStore) Dir() string { return s.dir }
@@ -344,21 +381,28 @@ type Journal struct {
 // a hybrid. The returned Journal is open for appends at record
 // len(keep).
 func (s *ManifestStore) Start(identity string, tasks int, keep []ManifestRecord) (*Journal, error) {
+	if !s.tryOpen(identity) {
+		return nil, ErrManifestBusy
+	}
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		s.closeOpen(identity)
 		return nil, fmt.Errorf("engine: manifest dir: %w", err)
 	}
 	dst := s.path(identity)
 	if _, err := s.faults.check(OpCreate, dst); err != nil {
+		s.closeOpen(identity)
 		return nil, err
 	}
 	tmp, err := os.CreateTemp(s.dir, "journal-*")
 	if err != nil {
+		s.closeOpen(identity)
 		return nil, fmt.Errorf("engine: manifest: %w", err)
 	}
 	j := &Journal{store: s, f: tmp, path: dst, identity: identity, tasks: tasks, n: len(keep)}
 	abort := func(err error) (*Journal, error) {
 		tmp.Close()
 		os.Remove(tmp.Name())
+		s.closeOpen(identity)
 		return nil, err
 	}
 	var head bytes.Buffer
@@ -439,6 +483,7 @@ func (j *Journal) Finish() error {
 		err = cerr
 	}
 	j.store.releaseLock(j.identity)
+	j.store.closeOpen(j.identity)
 	return err
 }
 
@@ -454,6 +499,7 @@ func (j *Journal) Close() error {
 		err = cerr
 	}
 	j.store.releaseLock(j.identity)
+	j.store.closeOpen(j.identity)
 	return err
 }
 

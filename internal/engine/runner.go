@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -242,6 +244,22 @@ func (r *Runner) flights() *FlightGroup {
 // reorder window rather than the shard count. Other experiments keep
 // the collect-then-merge path.
 func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, error) {
+	return r.RunContext(context.Background(), cfg, exps)
+}
+
+// RunContext is Run with a cancellation contract, the shape a
+// multi-tenant server needs: when ctx ends, the feeder stops
+// dispatching, tasks not yet started short-circuit, and the run returns
+// ctx's error within one span of in-flight work — without disturbing
+// any other run sharing the Pool, the cache, or the FlightGroup. A
+// canceled run that leads a shared flight either finishes that one
+// shard normally (the payload is published to cache and waiters as
+// usual) or, if it had not started simulating, retires the flight so a
+// waiting run re-contends and computes it instead; a canceled run
+// waiting on someone else's flight withdraws. The manifest journal, if
+// any, closes resumable — a later identical run picks up at the
+// journaled fold cursor exactly as after a crash.
+func (r *Runner) RunContext(ctx context.Context, cfg core.Config, exps []Experiment) ([]*Outcome, Stats, error) {
 	start := time.Now()
 	cfg = normalize(cfg)
 
@@ -311,10 +329,17 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 			}
 		}
 		var err error
-		if journal, err = r.Manifests.Start(id, len(tasks), jKept); err != nil {
+		switch journal, err = r.Manifests.Start(id, len(tasks), jKept); {
+		case errors.Is(err, ErrManifestBusy):
+			// An identical run in this process is journaling this fold
+			// right now; its journal vouches for the same records ours
+			// would, so run un-journaled rather than race it.
+			journal, resumed = nil, 0
+		case err != nil:
 			return nil, Stats{}, fmt.Errorf("engine: manifest: %w", err)
+		default:
+			defer journal.Close()
 		}
-		defer journal.Close()
 	}
 
 	var (
@@ -351,7 +376,7 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 	// worker (shared-pool or private) always finishes a task without
 	// parking on the collector.
 	runTask := func(ti int) {
-		if failed.Load() {
+		if failed.Load() || ctx.Err() != nil {
 			results <- taskResult{ti: ti}
 			return
 		}
@@ -372,22 +397,46 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 		}
 		var fc *flightCall
 		if flights != nil {
-			c, leader := flights.lead(t.key)
-			if !leader {
+			for fc == nil {
+				c, leader := flights.lead(t.key)
+				if leader {
+					fc = c
+					break
+				}
 				// Another run is computing this payload right now: take
 				// its bytes instead of simulating them again.
-				b, err := c.wait()
-				if err != nil {
+				b, err := c.wait(ctx)
+				switch {
+				case err == nil:
+					hits.Add(int64(len(t.dests)))
+					flightHits.Add(1)
+					results <- taskResult{ti: ti, payload: b, cached: true}
+					return
+				case ctx.Err() != nil:
+					// Our own run is done with this work: withdraw from
+					// the flight so the leader's delivery count stays
+					// honest, and let the collector drain us.
+					flights.abandon(t.key, c)
+					results <- taskResult{ti: ti}
+					return
+				case errors.Is(err, errFlightRetired):
+					// The leader was canceled before computing. The key
+					// is still ours to resolve: re-check the cache (a
+					// different flight may have landed meanwhile) and
+					// re-contend for leadership.
+					if r.Cache != nil {
+						if b, ok := r.Cache.Get(t.key); ok {
+							hits.Add(int64(len(t.dests)))
+							results <- taskResult{ti: ti, payload: b, cached: true}
+							return
+						}
+					}
+				default:
 					fail(ti, fmt.Errorf("engine: %s shard %d (shared in-flight): %w", e.Name(), first.shard, err))
 					results <- taskResult{ti: ti}
 					return
 				}
-				hits.Add(int64(len(t.dests)))
-				flightHits.Add(1)
-				results <- taskResult{ti: ti, payload: b, cached: true}
-				return
 			}
-			fc = c
 			if r.leadGate != nil {
 				r.leadGate(t.key)
 			}
@@ -403,6 +452,13 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 					results <- taskResult{ti: ti, payload: b, cached: true}
 					return
 				}
+			}
+			// A canceled leader must not sit on the key: hand it back so
+			// a concurrent run that still wants the payload computes it.
+			if ctx.Err() != nil {
+				flights.retire(t.key, fc)
+				results <- taskResult{ti: ti}
+				return
 			}
 		}
 		b, err := e.RunShard(cfg, first.shard)
@@ -448,40 +504,48 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 	// round-robin decides which run a freed worker serves next, while
 	// the permit flow keeps this run's outstanding work window-bounded
 	// either way.
+	//
+	// Cancellation stops the feeder at the next permit: spans past the
+	// cancel point are never dispatched, so a canceled tenant's pool
+	// queue drains to nothing instead of cycling no-op tasks through the
+	// shared workers. The feeder always reports how many tasks it
+	// actually dispatched — that count, not len(tasks), is what the
+	// collector waits for.
 	var wg sync.WaitGroup
+	dispatched := make(chan int, 1)
+	feed := func(dispatch func(span)) {
+		n := 0
+		defer func() { dispatched <- n }()
+		for lo := 0; lo < len(tasks); lo += chunk {
+			hi := lo + chunk
+			if hi > len(tasks) {
+				hi = len(tasks)
+			}
+			for i := lo; i < hi; i++ {
+				select {
+				case <-permits:
+				case <-ctx.Done():
+					return
+				}
+			}
+			dispatch(span{lo, hi})
+			n = hi
+		}
+	}
 	if r.Pool != nil {
 		pr := r.Pool.register()
-		go func() {
-			for lo := 0; lo < len(tasks); lo += chunk {
-				hi := lo + chunk
-				if hi > len(tasks) {
-					hi = len(tasks)
-				}
-				for i := lo; i < hi; i++ {
-					<-permits
-				}
-				sp := span{lo, hi}
-				wg.Add(1)
-				pr.submit(func() {
-					defer wg.Done()
-					execSpan(sp)
-				})
-			}
-		}()
+		go feed(func(sp span) {
+			wg.Add(1)
+			pr.submit(func() {
+				defer wg.Done()
+				execSpan(sp)
+			})
+		})
 	} else {
 		ch := make(chan span)
 		go func() {
-			for lo := 0; lo < len(tasks); lo += chunk {
-				hi := lo + chunk
-				if hi > len(tasks) {
-					hi = len(tasks)
-				}
-				for i := lo; i < hi; i++ {
-					<-permits
-				}
-				ch <- span{lo, hi}
-			}
-			close(ch)
+			defer close(ch)
+			feed(func(sp span) { ch <- sp })
 		}()
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
@@ -496,7 +560,11 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 
 	// Collector: re-establishes task order behind the pool and folds the
 	// contiguous prefix. pending holds only out-of-order payloads, and
-	// the permit flow keeps it no larger than the reorder window.
+	// the permit flow keeps it no larger than the reorder window. The
+	// expected result count starts at len(tasks) and drops to the
+	// feeder's dispatched count if cancellation cut dispatch short —
+	// every dispatched task still reports exactly one result, even when
+	// it short-circuits.
 	pending := make(map[int]taskResult, window)
 	contig := 0
 	deliver := func(ti int, payload []byte) {
@@ -514,8 +582,16 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 			}
 		}
 	}
-	for received := 0; received < len(tasks); received++ {
-		res := <-results
+	expected, dispatchedC := len(tasks), dispatched
+	for received := 0; received < expected; {
+		var res taskResult
+		select {
+		case res = <-results:
+		case n := <-dispatchedC:
+			expected, dispatchedC = n, nil
+			continue
+		}
+		received++
 		pending[res.ti] = res
 		for {
 			tr, ok := pending[contig]
@@ -568,6 +644,14 @@ func (r *Runner) Run(cfg core.Config, exps []Experiment) ([]*Outcome, Stats, err
 	if failed.Load() {
 		stats.Elapsed = time.Since(start)
 		return nil, stats, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		// Canceled with no earlier shard failure: the fold is abandoned
+		// but everything shared survives — payloads already computed are
+		// cached, led flights were published or retired, and the journal
+		// (closed by its defer) stays resumable at the fold cursor.
+		stats.Elapsed = time.Since(start)
+		return nil, stats, fmt.Errorf("engine: run canceled: %w", err)
 	}
 
 	outcomes := make([]*Outcome, len(exps))

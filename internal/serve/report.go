@@ -1,0 +1,82 @@
+package serve
+
+import "vmdg/internal/engine"
+
+// CacheReport is the machine-readable state of a shard cache: the
+// on-disk tier, the fold manifests, and the in-memory payload tier.
+// It is the GET /v1/cache body and the `dgrid cache -json` schema —
+// one struct, so the daemon and the CLI can never drift. The mem
+// counters are per-process: a fresh CLI invocation reports the tier
+// empty, a long-lived daemon reports its real hit rate.
+type CacheReport struct {
+	Dir           string          `json:"dir"`
+	Entries       int             `json:"entries"`
+	Bytes         int64           `json:"bytes"`
+	OldestUnix    int64           `json:"oldest_unix,omitempty"`
+	NewestUnix    int64           `json:"newest_unix,omitempty"`
+	ActiveRuns    int             `json:"active_runs"`
+	Manifests     int             `json:"manifests"`
+	Resumable     int             `json:"resumable"`
+	ManifestBytes int64           `json:"manifest_bytes"`
+	List          []CacheManifest `json:"manifest_list,omitempty"`
+	Mem           *MemReport      `json:"mem,omitempty"`
+}
+
+// CacheManifest is one fold journal's summary.
+type CacheManifest struct {
+	Identity string `json:"identity"`
+	Tasks    int    `json:"tasks"`
+	Cursor   int    `json:"cursor"`
+	Complete bool   `json:"complete"`
+	Torn     bool   `json:"torn"`
+}
+
+// MemReport mirrors engine.MemTierStats in snake_case.
+type MemReport struct {
+	Entries   int     `json:"entries"`
+	Bytes     int64   `json:"bytes"`
+	MaxBytes  int64   `json:"max_bytes"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// BuildCacheReport assembles the report for one FileCache.
+func BuildCacheReport(fc *engine.FileCache) (*CacheReport, error) {
+	st, err := fc.Stats()
+	if err != nil {
+		return nil, err
+	}
+	mis, err := fc.Manifests().List()
+	if err != nil {
+		return nil, err
+	}
+	rep := &CacheReport{
+		Dir:           fc.Dir(),
+		Entries:       st.Entries,
+		Bytes:         st.Bytes,
+		ActiveRuns:    st.ActiveRuns,
+		Manifests:     st.Manifests,
+		Resumable:     st.Resumable,
+		ManifestBytes: st.ManifestBytes,
+	}
+	if !st.Oldest.IsZero() {
+		rep.OldestUnix = st.Oldest.Unix()
+		rep.NewestUnix = st.Newest.Unix()
+	}
+	for _, mi := range mis {
+		rep.List = append(rep.List, CacheManifest{
+			Identity: mi.Identity, Tasks: mi.Tasks, Cursor: mi.Cursor,
+			Complete: mi.Complete, Torn: mi.Torn,
+		})
+	}
+	if ms, ok := fc.MemStats(); ok {
+		rep.Mem = &MemReport{
+			Entries: ms.Entries, Bytes: ms.Bytes, MaxBytes: ms.MaxBytes,
+			Hits: ms.Hits, Misses: ms.Misses, Evictions: ms.Evictions,
+			HitRate: ms.HitRate(),
+		}
+	}
+	return rep, nil
+}

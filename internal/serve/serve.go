@@ -1,0 +1,129 @@
+// Package serve exposes the experiment engine as a long-lived HTTP
+// service: the simulator you can query instead of re-run. A daemon
+// holds one shared worker pool, one shared mem-tiered shard cache, and
+// one single-flight group; every POST /v1/sweeps constructs a
+// per-request Runner over that shared substrate, so N clients asking
+// overlapping questions cost ~1× the simulation work, and a client that
+// disconnects cancels only its own run (see engine.RunContext's
+// contract — shared flights are handed off, never poisoned).
+//
+// The operational surface is deliberately small: bounded admission
+// (a semaphore ahead of the pool; saturation answers 429 with
+// Retry-After rather than queueing unboundedly), GET /healthz for
+// liveness and build identity, GET /v1/cache for the shared cache's
+// state in the same schema as `dgrid cache -json`, and structured
+// one-line logs keyed by a per-request ID.
+package serve
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"vmdg/internal/engine"
+)
+
+// Server is the daemon's state: the shared engine substrate plus the
+// admission bound. The zero value is not usable — Pool and Cache are
+// required; Handler wires the routes.
+type Server struct {
+	// Pool is the shared worker pool every admitted run executes on
+	// (and, through it, the shared single-flight group).
+	Pool *engine.Pool
+	// Cache is the shared shard cache. All runs read and write it; the
+	// mem tier should be enabled by the caller so warm sweeps are
+	// served from memory.
+	Cache *engine.FileCache
+	// MaxRuns bounds concurrently admitted sweep runs; <= 0 means
+	// twice the pool's worker count (enough to keep the pool busy
+	// while bounding the daemon's memory).
+	MaxRuns int
+	// Resume journals every run's fold to the cache's manifest store,
+	// so a daemon killed mid-sweep resumes the fold on the next
+	// identical request (concurrent identical runs journal once; see
+	// engine.ErrManifestBusy).
+	Resume bool
+	// Log receives the structured one-liners; nil means slog.Default.
+	Log *slog.Logger
+
+	once   sync.Once
+	sem    chan struct{}
+	reqSeq atomic.Uint64
+	active atomic.Int64
+}
+
+// init resolves the defaults once, on first request.
+func (s *Server) init() {
+	s.once.Do(func() {
+		n := s.MaxRuns
+		if n <= 0 {
+			n = 2 * s.Pool.Workers()
+		}
+		s.MaxRuns = n
+		s.sem = make(chan struct{}, n)
+		if s.Log == nil {
+			s.Log = slog.Default()
+		}
+	})
+}
+
+// Handler returns the daemon's routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/cache", s.handleCache)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweeps)
+	return mux
+}
+
+// Health is the GET /healthz body.
+type Health struct {
+	Status string `json:"status"`
+	// Version is serve.Version() verbatim — the same string
+	// `dgrid version` prints.
+	Version string `json:"version"`
+	Go      string `json:"go"`
+	// Workers is the shared pool's bound; ActiveRuns counts sweeps
+	// currently admitted (of MaxRuns).
+	Workers    int   `json:"workers"`
+	ActiveRuns int64 `json:"active_runs"`
+	MaxRuns    int   `json:"max_runs"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.init()
+	writeJSON(w, http.StatusOK, Health{
+		Status:     "ok",
+		Version:    Version(),
+		Go:         runtime.Version(),
+		Workers:    s.Pool.Workers(),
+		ActiveRuns: s.active.Load(),
+		MaxRuns:    s.MaxRuns,
+	})
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	s.init()
+	rep, err := BuildCacheReport(s.Cache)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// errorBody is every non-200 JSON answer.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,37 @@
+package serve
+
+import "runtime/debug"
+
+// Version reports the build's identity from the embedded build info:
+// the main module's version, plus the VCS revision (truncated, with a
+// +dirty marker for modified trees) when the build recorded one.
+// `dgrid version` prints it and GET /healthz returns it verbatim, so
+// an operator can match a running daemon to a checkout.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	if v == "" {
+		v = "(devel)"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev != "" {
+		v += " (" + rev + dirty + ")"
+	}
+	return v
+}
