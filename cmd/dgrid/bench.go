@@ -13,6 +13,7 @@ import (
 	"vmdg/internal/core"
 	"vmdg/internal/engine"
 	"vmdg/internal/grid"
+	"vmdg/internal/loadgen"
 )
 
 // preRefactorHostsPerSec is the measured throughput of the fleet
@@ -61,6 +62,14 @@ type benchResult struct {
 	// N overlapping sweeps through one shared pool, flight group, and
 	// two-tier cache (see benchconc.go).
 	Concurrent *concurrentResult `json:"concurrent,omitempty"`
+
+	// Serve holds the served-sweep load measurement `dgrid loadtest
+	// -out` merges in: latency percentiles per outcome class under a
+	// concurrent client fleet, plus the accounting cross-check verdict
+	// (see internal/loadgen). cmdBench carries it over when rewriting
+	// the artifact, so re-benching the kernel never drops the serve
+	// evidence.
+	Serve *loadgen.Report `json:"serve,omitempty"`
 }
 
 // sweepPoint is one -sweep measurement: the same scenario run at one
@@ -178,6 +187,14 @@ func cmdBench(args []string) error {
 		res.Concurrent, err = benchConcurrent(*concurrent, *concMachines, *minutes, cfg)
 		if err != nil {
 			return err
+		}
+	}
+
+	// A kernel re-bench must not drop the loadtest's serve section;
+	// carry it over from the artifact being rewritten.
+	if *out != "-" {
+		if prev, err := readBenchBaseline(*out); err == nil {
+			res.Serve = prev.Serve
 		}
 	}
 

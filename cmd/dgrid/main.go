@@ -27,6 +27,9 @@
 //	dgrid cache                     # cache contents + resumable manifests
 //	dgrid serve -addr :8787         # sweep daemon: POST /v1/sweeps, shared
 //	                                # pool/cache/single-flight across clients
+//	dgrid loadtest -clients 200     # drive a daemon with a client fleet:
+//	                                # latency percentiles per outcome class,
+//	                                # accounting cross-checks, bench artifact
 //	dgrid version                   # build identity (matches /healthz)
 //
 // Experiment runs are deterministic per seed and independent of the
@@ -81,6 +84,8 @@ func main() {
 		err = cmdCache(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "loadtest":
+		err = cmdLoadtest(os.Args[2:])
 	case "version":
 		err = cmdVersion(os.Args[2:])
 	case "help", "-h", "-help", "--help":
@@ -129,6 +134,7 @@ commands:
   bench            benchmark the fleet pipeline, write BENCH_fleet.json
   cache            show, prune, or clear the on-disk shard cache
   serve            serve sweeps over HTTP from one shared pool and cache
+  loadtest         drive a serve daemon with a concurrent client fleet
   version          print the build identity (module version, VCS revision)
   help             show this message
 

@@ -1,0 +1,102 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHistExactSmallValues: group 0 stores sub-histSub values verbatim,
+// so tiny histograms reconstruct exactly.
+func TestHistExactSmallValues(t *testing.T) {
+	var h Hist
+	for _, v := range []int64{0, 1, 5, 31} {
+		h.Record(time.Duration(v))
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count())
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("p0 = %v, want 0", got)
+	}
+	if got := h.Quantile(1); got != 31 {
+		t.Errorf("p100 = %v, want 31", got)
+	}
+	if got := h.Max(); got != 31 {
+		t.Errorf("Max = %v, want 31", got)
+	}
+}
+
+// TestHistNegativeClamps: negative observations count as zero rather
+// than corrupting the bucket index.
+func TestHistNegativeClamps(t *testing.T) {
+	var h Hist
+	h.Record(-time.Second)
+	if h.Count() != 1 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Errorf("negative record: count %d p50 %v max %v, want 1/0/0",
+			h.Count(), h.Quantile(0.5), h.Max())
+	}
+}
+
+// TestHistQuantileAccuracy: reconstructed quantiles stay within the
+// sub-bucket resolution (~3% relative error, one sub-bucket width) of
+// the exact quantiles of the same data, across magnitudes from
+// microseconds to minutes.
+func TestHistQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h Hist
+	var exact []int64
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over [1µs, 60s): every group gets traffic.
+		v := int64(float64(time.Microsecond) * math.Pow(6e7, rng.Float64()))
+		exact = append(exact, v)
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		idx := int(q*float64(len(exact))+0.5) - 1
+		want := float64(exact[idx])
+		got := float64(h.Quantile(q))
+		if rel := math.Abs(got-want) / want; rel > 0.05 {
+			t.Errorf("p%g = %.0f, exact %.0f: relative error %.3f > 0.05", q*100, got, want, rel)
+		}
+	}
+}
+
+// TestHistMergeEquivalence: recording observations across k histograms
+// and merging reproduces the single-histogram quantiles and extremes
+// exactly — the property that makes per-client histograms safe.
+func TestHistMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var whole Hist
+	parts := make([]Hist, 4)
+	for i := 0; i < 5000; i++ {
+		v := time.Duration(rng.Int63n(int64(10 * time.Second)))
+		whole.Record(v)
+		parts[i%len(parts)].Record(v)
+	}
+	var merged Hist
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged.Count() != whole.Count() || merged.Max() != whole.Max() {
+		t.Fatalf("merged count/max %d/%v != whole %d/%v",
+			merged.Count(), merged.Max(), whole.Count(), whole.Max())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if m, w := merged.Quantile(q), whole.Quantile(q); m != w {
+			t.Errorf("p%g: merged %v != whole %v", q*100, m, w)
+		}
+	}
+}
+
+// TestHistSummaryEmpty: an empty histogram summarizes to all zeros
+// rather than panicking or reporting sentinel garbage.
+func TestHistSummaryEmpty(t *testing.T) {
+	var h Hist
+	if s := h.Summarize(); s != (Summary{}) {
+		t.Errorf("empty Summarize = %+v, want zero", s)
+	}
+}

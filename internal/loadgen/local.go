@@ -1,0 +1,42 @@
+package loadgen
+
+import (
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"runtime"
+
+	"vmdg/internal/engine"
+	"vmdg/internal/serve"
+)
+
+// Local stands up an in-process serve daemon — its own worker pool, a
+// mem-tiered shard cache at cacheDir, resume on — behind an httptest
+// listener, and returns its base URL plus a shutdown func. Pointing the
+// harness at a fresh cacheDir guarantees a cold start, which is what
+// makes the Σmisses accounting exact from zero; `dgrid loadtest` uses
+// this unless -addr targets a real daemon.
+func Local(workers, maxRuns int, cacheDir string, logTo io.Writer) (baseURL string, shutdown func(), err error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pool := engine.NewPool(workers)
+	fc, err := engine.NewFileCache(cacheDir)
+	if err != nil {
+		pool.Close()
+		return "", nil, err
+	}
+	fc.EnableMemTier(engine.DefaultMemTierBytes)
+	if logTo == nil {
+		logTo = io.Discard
+	}
+	s := &serve.Server{
+		Pool: pool, Cache: fc, MaxRuns: maxRuns, Resume: true,
+		Log: slog.New(slog.NewTextHandler(logTo, nil)),
+	}
+	ts := httptest.NewServer(s.Handler())
+	return ts.URL, func() {
+		ts.Close()
+		pool.Close()
+	}, nil
+}

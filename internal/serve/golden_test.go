@@ -1,0 +1,130 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the endpoint schema fixtures under
+// testdata/golden/serve. Legitimate when a field was deliberately
+// added; a diff that *removes* or *retypes* a field is a breaking
+// change for deployed clients and needs the same scrutiny as any wire
+// break.
+var update = flag.Bool("update", false, "rewrite golden fixtures")
+
+// normalizeJSON reduces a JSON document to its schema: object keys
+// survive, every leaf value becomes a type placeholder, and arrays
+// collapse to their first element's schema. The result is rendered
+// with sorted keys so the fixture is byte-stable across runs.
+func normalizeJSON(t *testing.T, raw []byte) string {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("endpoint body is not JSON: %v\n%s", err, raw)
+	}
+	var b strings.Builder
+	writeSchema(&b, v, 0)
+	b.WriteString("\n")
+	return b.String()
+}
+
+func writeSchema(b *strings.Builder, v any, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("{\n")
+		for i, k := range keys {
+			fmt.Fprintf(b, "%s  %q: ", indent, k)
+			writeSchema(b, x[k], depth+1)
+			if i < len(keys)-1 {
+				b.WriteString(",")
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString(indent + "}")
+	case []any:
+		if len(x) == 0 {
+			b.WriteString("[]")
+			return
+		}
+		b.WriteString("[\n" + indent + "  ")
+		writeSchema(b, x[0], depth+1)
+		b.WriteString("\n" + indent + "]")
+	case string:
+		b.WriteString(`"<string>"`)
+	case float64:
+		b.WriteString(`"<number>"`)
+	case bool:
+		b.WriteString(`"<bool>"`)
+	case nil:
+		b.WriteString(`"<null>"`)
+	default:
+		panic(fmt.Sprintf("unhandled JSON node %T", v))
+	}
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", "serve", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run `go test ./internal/serve -run Golden -update`): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("%s schema drifted from the golden fixture.\n--- want\n%s\n--- got\n%s", name, want, got)
+	}
+}
+
+// TestEndpointSchemasGolden pins the /healthz and /v1/cache response
+// schemas — the surface both the loadtest accounting cross-check and
+// external monitoring scrape. The sweep beforehand matters: it
+// populates the optional sections (manifest list, timestamps, mem
+// tier), so omitempty fields are pinned present, not silently absent.
+func TestEndpointSchemasGolden(t *testing.T) {
+	ts, _ := newServer(t, 4, nil)
+	postSweep(t, ts.URL, smallSpec)
+
+	for name, url := range map[string]string{
+		"healthz.json": ts.URL + "/healthz",
+		"cache.json":   ts.URL + "/v1/cache",
+	} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("GET %s Content-Type = %q, want application/json", url, ct)
+		}
+		checkGolden(t, name, normalizeJSON(t, body))
+	}
+}

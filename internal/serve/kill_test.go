@@ -1,0 +1,154 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"vmdg/internal/engine"
+	"vmdg/internal/serve"
+)
+
+// killSpecs are three distinct 16-shard sweeps in the bigSpec weight
+// class (4 population slices × the default four environments, several
+// hundred milliseconds each): after the first shard frame, ~15/16 of
+// the run remains, so a client that cancels there is reliably still
+// mid-run. Two clients land on each spec, so a kill can hit either
+// side of a shared shard flight.
+var killSpecs = []string{
+	`{"version":1,"quick":true,"machines":[2000],"minutes":[480],"churn":[true],"policy":["fifo"]}`,
+	`{"version":1,"quick":true,"machines":[2150],"minutes":[480],"churn":[true],"policy":["deadline"]}`,
+	`{"version":1,"quick":true,"machines":[2300],"minutes":[480],"churn":[true],"policy":["fifo"]}`,
+}
+
+// TestKillRandomSSEClientsProperty is the seeded chaos property: under
+// concurrent load, a random subset of SSE clients disconnects
+// mid-stream. Whatever the interleaving, the daemon must end the round
+// with
+//
+//   - active_runs back at 0 (admission slots all released),
+//   - zero manifest run locks held (no stale lock — /v1/cache
+//     active_runs), and
+//   - every surviving client's artifacts byte-identical to a serial
+//     run of the same spec.
+func TestKillRandomSSEClientsProperty(t *testing.T) {
+	// Serial references, one per spec, computed once on a private
+	// cache.
+	refs := make([]*engine.Outcome, len(killSpecs))
+	for i, spec := range killSpecs {
+		refs[i], _ = serialSweep(t, spec)
+	}
+
+	for _, seed := range []int64{1, 2, 3} {
+		rng := rand.New(rand.NewSource(seed))
+		// A fresh daemon per round: the kill set must hit cold runs
+		// (in-flight simulation), not warm replays, and lock/counter
+		// assertions start from zero.
+		ts, _ := newServer(t, 12, nil)
+
+		const fleet = 6
+		killed := map[int]bool{}
+		for n := 1 + rng.Intn(fleet-1); len(killed) < n; {
+			killed[rng.Intn(fleet)] = true
+		}
+
+		type answer struct {
+			client int
+			res    *serve.SweepResult
+		}
+		var (
+			wg        sync.WaitGroup
+			mu        sync.Mutex
+			survivors []answer
+		)
+		for c := 0; c < fleet; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				specIdx := c % len(killSpecs)
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				resp, r := startSSE(t, ctx, ts.URL, killSpecs[specIdx])
+				defer resp.Body.Close()
+				if killed[c] {
+					// Read one frame so the run is inside the simulate
+					// loop, then vanish.
+					r.next()
+					cancel()
+					resp.Body.Close()
+					return
+				}
+				for {
+					event, data, err := r.next()
+					if err == io.EOF {
+						t.Errorf("seed %d client %d: stream ended without result", seed, c)
+						return
+					}
+					if err != nil {
+						t.Errorf("seed %d client %d: %v", seed, c, err)
+						return
+					}
+					if event == "error" {
+						t.Errorf("seed %d client %d: server error frame: %s", seed, c, data)
+						return
+					}
+					if event == "result" {
+						var res serve.SweepResult
+						if err := json.Unmarshal([]byte(data), &res); err != nil {
+							t.Errorf("seed %d client %d: result frame: %v", seed, c, err)
+							return
+						}
+						mu.Lock()
+						survivors = append(survivors, answer{c, &res})
+						mu.Unlock()
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+
+		// Survivors got the serial bytes, despite sharing flights with
+		// runs that died.
+		for _, a := range survivors {
+			ref := refs[a.client%len(killSpecs)]
+			if a.res.Table != ref.Render() || a.res.CSV != ref.CSV() || !bytes.Equal(a.res.JSON, ref.Raw) {
+				t.Errorf("seed %d client %d: artifacts differ from the serial reference", seed, a.client)
+			}
+		}
+		if want := fleet - len(killed); len(survivors) != want {
+			t.Errorf("seed %d: %d survivors answered, want %d", seed, len(survivors), want)
+		}
+
+		// The daemon drains: admission slots released, every admitted
+		// run terminal, and no manifest run lock left behind.
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			var h serve.Health
+			getJSON(t, ts.URL+"/healthz", &h)
+			if h.ActiveRuns == 0 && h.Sweeps.Admitted == h.Sweeps.Completed+h.Sweeps.Canceled+h.Sweeps.Failed {
+				if h.Sweeps.Admitted != fleet || h.Sweeps.Failed != 0 {
+					t.Errorf("seed %d: counters %+v, want %d admitted, 0 failed", seed, h.Sweeps, fleet)
+				}
+				if h.Sweeps.Canceled != uint64(len(killed)) {
+					t.Errorf("seed %d: %d canceled, want %d (the kill set)", seed, h.Sweeps.Canceled, len(killed))
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("seed %d: daemon did not drain: %+v", seed, h)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		var rep serve.CacheReport
+		getJSON(t, ts.URL+"/v1/cache", &rep)
+		if rep.ActiveRuns != 0 {
+			t.Errorf("seed %d: %d manifest run locks still held after drain (stale lock)", seed, rep.ActiveRuns)
+		}
+	}
+}

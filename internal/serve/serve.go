@@ -53,6 +53,35 @@ type Server struct {
 	sem    chan struct{}
 	reqSeq atomic.Uint64
 	active atomic.Int64
+	ctr    counters
+}
+
+// counters is the daemon's cumulative sweep accounting, monotonic over
+// the process lifetime. Every admitted run ends in exactly one of
+// completed, canceled, or failed, so once the daemon is idle
+//
+//	admitted == completed + canceled + failed
+//
+// holds exactly — the invariant the loadgen harness cross-checks
+// against its own client-side bookkeeping (see internal/loadgen).
+// Rejected counts 429 answers; requests turned away before admission
+// (malformed bodies, invalid specs) are not counted here.
+type counters struct {
+	admitted  atomic.Uint64
+	completed atomic.Uint64
+	canceled  atomic.Uint64
+	failed    atomic.Uint64
+	rejected  atomic.Uint64
+}
+
+// Counters is the wire form of the daemon's sweep accounting, nested
+// in the GET /healthz body.
+type Counters struct {
+	Admitted  uint64 `json:"admitted"`
+	Completed uint64 `json:"completed"`
+	Canceled  uint64 `json:"canceled"`
+	Failed    uint64 `json:"failed"`
+	Rejected  uint64 `json:"rejected"`
 }
 
 // init resolves the defaults once, on first request.
@@ -91,6 +120,8 @@ type Health struct {
 	Workers    int   `json:"workers"`
 	ActiveRuns int64 `json:"active_runs"`
 	MaxRuns    int   `json:"max_runs"`
+	// Sweeps is the cumulative request accounting; see Counters.
+	Sweeps Counters `json:"sweeps"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -102,6 +133,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Workers:    s.Pool.Workers(),
 		ActiveRuns: s.active.Load(),
 		MaxRuns:    s.MaxRuns,
+		Sweeps: Counters{
+			Admitted:  s.ctr.admitted.Load(),
+			Completed: s.ctr.completed.Load(),
+			Canceled:  s.ctr.canceled.Load(),
+			Failed:    s.ctr.failed.Load(),
+			Rejected:  s.ctr.rejected.Load(),
+		},
 	})
 }
 

@@ -167,12 +167,14 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	default:
+		s.ctr.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests,
 			errorBody{Error: fmt.Sprintf("at capacity (%d runs active); retry shortly", s.MaxRuns)})
 		log.Warn("sweep rejected", "active", s.active.Load(), "max_runs", s.MaxRuns)
 		return
 	}
+	s.ctr.admitted.Add(1)
 	s.active.Add(1)
 	defer s.active.Add(-1)
 
@@ -206,15 +208,18 @@ func (s *Server) bufferSweep(w http.ResponseWriter, r *http.Request, log *slog.L
 	if err != nil {
 		if r.Context().Err() != nil {
 			// The client is gone; there is no one to answer.
+			s.ctr.canceled.Add(1)
 			log.Info("sweep canceled", "reason", "client disconnected", "folded", stats.Hits+stats.Misses)
 			return
 		}
+		s.ctr.failed.Add(1)
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 		log.Error("sweep failed", "err", err)
 		return
 	}
 	// Compact, not indented: re-indenting would reformat the embedded
 	// JSON artifact, which must stay byte-identical to the CLI's.
+	s.ctr.completed.Add(1)
 	w.Header().Set("Content-Type", "application/json")
 	b, _ := json.Marshal(sweepResult(outcomes[0], stats))
 	w.Write(append(b, '\n'))
@@ -249,14 +254,17 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, log *slog.L
 	outcomes, stats, err := runner.RunContext(r.Context(), cfg, []engine.Experiment{exp})
 	if err != nil {
 		if r.Context().Err() != nil {
+			s.ctr.canceled.Add(1)
 			log.Info("sweep canceled", "reason", "client disconnected", "folded", stats.Hits+stats.Misses)
 			return
 		}
+		s.ctr.failed.Add(1)
 		b, _ := json.Marshal(errorBody{Error: err.Error()})
 		writeSSE(w, fl, "error", b)
 		log.Error("sweep failed", "err", err)
 		return
 	}
+	s.ctr.completed.Add(1)
 	b, _ := json.Marshal(sweepResult(outcomes[0], stats))
 	writeSSE(w, fl, "result", b)
 	logDone(log, stats)
